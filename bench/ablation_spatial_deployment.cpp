@@ -1,0 +1,94 @@
+// Ablation — the Table V deployment taken literally: 100 readers on a 10 m
+// grid in a 100 m × 100 m hall, 3 m read range, tags scattered uniformly.
+// The coverage discs are disjoint (the geometric reason the paper may
+// ignore reader coordination), only ~28 % of the floor is covered, and the
+// per-reader cell populations are small — this bench runs the full
+// multi-reader inventory and reports system-level figures for both schemes.
+#include "anticollision/fsa.hpp"
+#include "bench_support.hpp"
+#include "common/table.hpp"
+#include "phy/channel.hpp"
+#include "sim/spatial.hpp"
+#include "tags/population.hpp"
+
+using namespace rfid;
+
+namespace {
+
+struct SystemRun {
+  std::size_t covered = 0;
+  std::size_t uncovered = 0;
+  std::size_t identified = 0;
+  double busiestReaderMicros = 0.0;  ///< makespan when readers run in parallel
+  double totalMicros = 0.0;          ///< sum over readers (sequential activation)
+};
+
+SystemRun runDeployment(std::size_t totalTags, bool crcCd,
+                        std::uint64_t seed) {
+  common::Rng rng(seed);
+  const sim::Deployment d = sim::paperDeployment();
+  const auto readers = sim::gridReaderLayout(d);
+  const auto positions = sim::uniformTagLayout(d, totalTags, rng);
+  const auto cells =
+      sim::assignTagsToReaders(readers, positions, d.readerRangeMeters);
+
+  std::unique_ptr<core::DetectionScheme> scheme;
+  if (crcCd) {
+    scheme = std::make_unique<core::CrcCdScheme>(phy::AirInterface{});
+  } else {
+    scheme = std::make_unique<core::QcdScheme>(phy::AirInterface{}, 8);
+  }
+
+  SystemRun out;
+  out.covered = cells.coveredCount();
+  out.uncovered = cells.uncovered.size();
+  phy::OrChannel channel;
+  for (const auto& cell : cells.cells) {
+    if (cell.empty()) continue;
+    common::Rng cellRng(rng());
+    auto population =
+        tags::makeUniformPopulation(cell.size(), scheme->air().idBits,
+                                    cellRng);
+    sim::Metrics metrics;
+    sim::SlotEngine engine(*scheme, channel, metrics);
+    anticollision::FramedSlottedAloha fsa(
+        std::max<std::size_t>(4, cell.size()));
+    (void)fsa.run(engine, population, cellRng);
+    out.identified += tags::countCorrectlyIdentified(population);
+    out.totalMicros += metrics.totalAirtimeMicros();
+    out.busiestReaderMicros =
+        std::max(out.busiestReaderMicros, metrics.totalAirtimeMicros());
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::printHeader(
+      "Ablation — Table V deployment (100 readers / 100 m^2 hall / 3 m "
+      "range)",
+      "disjoint 3 m discs cover ~28.3% of the area; per-cell inventories "
+      "run independently");
+
+  common::TextTable table({"tags in hall", "scheme", "covered", "uncovered",
+                           "identified", "makespan (us)",
+                           "sequential total (us)"});
+  for (const std::size_t tags : {500u, 5000u}) {
+    for (const bool crc : {true, false}) {
+      const SystemRun r = runDeployment(tags, crc, 515);
+      table.addRow({common::fmtCount(tags), crc ? "CRC-CD" : "QCD[l=8]",
+                    common::fmtCount(r.covered),
+                    common::fmtCount(r.uncovered),
+                    common::fmtCount(r.identified),
+                    common::fmtDouble(r.busiestReaderMicros, 0),
+                    common::fmtDouble(r.totalMicros, 0)});
+    }
+    table.addRule();
+  }
+  std::cout << table;
+  std::cout << "\nGeometry: expected coverage = 100*pi*3^2/100^2 = 28.3% of "
+               "tags; uncovered tags are unreadable by any reader.\n";
+  bench::printFooter();
+  return 0;
+}

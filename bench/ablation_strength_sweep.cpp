@@ -1,0 +1,44 @@
+// Ablation — the strength tradeoff (§IV-B, §VI-C): sweep l = 1..16 and
+// expose the three-way tension the paper resolves by recommending l = 8:
+// small l → cheap slots but misdetections (lost tags); large l → perfect
+// detection but preamble overhead erodes UR and EI.
+#include "bench_support.hpp"
+#include "common/table.hpp"
+#include "theory/lemmas.hpp"
+
+using namespace rfid;
+using anticollision::ProtocolKind;
+using anticollision::SchemeKind;
+
+int main() {
+  bench::printHeader(
+      "Ablation — QCD strength sweep on FSA (case II: 500 tags, frame 300)",
+      "\"In practice, we recommend to adopt l = 8\" — the knee where "
+      "accuracy is ~100% and UR/EI are still high");
+
+  const std::size_t kCase = 1;  // 500 tags / 300 slots
+  const double tCrc =
+      anticollision::runExperiment(
+          bench::paperConfig(kCase, ProtocolKind::kFsa, SchemeKind::kCrcCd))
+          .airtimeMicros.mean();
+
+  common::TextTable table({"strength l", "accuracy", "lost tags/round",
+                           "UR", "EI vs CRC-CD", "time (us)"});
+  for (const unsigned l : {1u, 2u, 3u, 4u, 6u, 8u, 10u, 12u, 16u}) {
+    const auto r = anticollision::runExperiment(
+        bench::paperConfig(kCase, ProtocolKind::kFsa, SchemeKind::kQcd, l));
+    table.addRow({std::to_string(l),
+                  common::fmtPercent(r.detectionAccuracy.mean(), 3),
+                  common::fmtDouble(r.lostTags.mean(), 2),
+                  common::fmtPercent(r.utilizationRate.mean()),
+                  common::fmtPercent(
+                      theory::eiFromTimes(tCrc, r.airtimeMicros.mean())),
+                  common::fmtDouble(r.airtimeMicros.mean(), 0)});
+  }
+  std::cout << table;
+  std::cout << "\nReading: accuracy saturates by l = 8 while UR/EI keep "
+               "falling with l — the paper's recommendation is the knee of "
+               "this curve.\n";
+  bench::printFooter();
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Ablation — the tree-protocol family (BT / ABS / QT / AQS) under CRC-CD
+// and QCD, including the re-identification rounds where the adaptive
+// variants (ABS, AQS) pay off. The paper's §II surveys these protocols;
+// this bench quantifies them inside the same slot/airtime accounting used
+// for the headline results.
+#include "anticollision/abs.hpp"
+#include "anticollision/aqs.hpp"
+#include "anticollision/bt.hpp"
+#include "anticollision/qt.hpp"
+#include "bench_support.hpp"
+#include "common/table.hpp"
+#include "phy/channel.hpp"
+#include "tags/population.hpp"
+
+using namespace rfid;
+
+namespace {
+
+struct TwoRounds {
+  double firstSlots = 0.0;
+  double secondSlots = 0.0;
+  double firstMicros = 0.0;
+  double secondMicros = 0.0;
+};
+
+template <typename ProtocolT>
+TwoRounds measure(std::size_t tags, bool crcCd, std::size_t rounds,
+                  std::uint64_t seed) {
+  TwoRounds sum;
+  for (std::size_t k = 0; k < rounds; ++k) {
+    common::Rng rng = common::Rng::forStream(seed, k);
+    std::unique_ptr<core::DetectionScheme> scheme;
+    if (crcCd) {
+      scheme = std::make_unique<core::CrcCdScheme>(phy::AirInterface{});
+    } else {
+      scheme = std::make_unique<core::QcdScheme>(phy::AirInterface{}, 8);
+    }
+    phy::OrChannel channel;
+    auto population = tags::makeUniformPopulation(tags, 64, rng);
+    ProtocolT protocol;
+
+    sim::Metrics first;
+    sim::SlotEngine firstEngine(*scheme, channel, first);
+    (void)protocol.run(firstEngine, population, rng);
+
+    // Second inventory round over the same population; adaptive protocols
+    // (ABS/AQS) reuse what they learned in round one.
+    for (auto& t : population) {
+      t.resetForRound();
+    }
+    sim::Metrics second;
+    sim::SlotEngine secondEngine(*scheme, channel, second);
+    (void)protocol.run(secondEngine, population, rng);
+
+    sum.firstSlots += static_cast<double>(first.detectedCensus().total());
+    sum.firstMicros += first.totalAirtimeMicros();
+    sum.secondSlots += static_cast<double>(second.detectedCensus().total());
+    sum.secondMicros += second.totalAirtimeMicros();
+  }
+  const double r = static_cast<double>(rounds);
+  return TwoRounds{sum.firstSlots / r, sum.secondSlots / r,
+                   sum.firstMicros / r, sum.secondMicros / r};
+}
+
+}  // namespace
+
+int main() {
+  bench::printHeader(
+      "Ablation — tree family (BT/ABS/QT/AQS) x scheme, two inventory rounds",
+      "ABS/AQS amortise: re-identification of an unchanged population needs "
+      "~n slots; QCD's airtime advantage holds everywhere");
+
+  constexpr std::size_t kTags = 500;
+  constexpr std::size_t kRounds = 15;
+
+  common::TextTable table({"protocol", "scheme", "round-1 slots",
+                           "round-2 slots", "round-1 us", "round-2 us"});
+  const char* schemes[] = {"CRC-CD", "QCD[l=8]"};
+  for (int s = 0; s < 2; ++s) {
+    const bool crc = s == 0;
+    const auto bt = measure<anticollision::BinaryTree>(kTags, crc, kRounds, 1);
+    const auto abs =
+        measure<anticollision::AdaptiveBinarySplitting>(kTags, crc, kRounds, 2);
+    const auto qt = measure<anticollision::QueryTree>(kTags, crc, kRounds, 3);
+    const auto aqs =
+        measure<anticollision::AdaptiveQuerySplitting>(kTags, crc, kRounds, 4);
+    const struct {
+      const char* name;
+      const TwoRounds& r;
+    } rows[] = {{"BT", bt}, {"ABS", abs}, {"QT", qt}, {"AQS", aqs}};
+    for (const auto& row : rows) {
+      table.addRow({row.name, schemes[s],
+                    common::fmtDouble(row.r.firstSlots, 0),
+                    common::fmtDouble(row.r.secondSlots, 0),
+                    common::fmtDouble(row.r.firstMicros, 0),
+                    common::fmtDouble(row.r.secondMicros, 0)});
+    }
+    table.addRule();
+  }
+  std::cout << table;
+  std::cout << "\nReading: round-2 slot counts near n for ABS/AQS (vs ~2.9n "
+               "for BT/QT) demonstrate the reservation/candidate reuse.\n";
+  bench::printFooter();
+  return 0;
+}

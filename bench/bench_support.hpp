@@ -1,0 +1,57 @@
+// Shared plumbing for the bench binaries: paper-case configuration with
+// runtime budgets appropriate for a laptop-class single core, and common
+// output helpers. Every bench prints the paper's reported value next to the
+// reproduction's measured value so EXPERIMENTS.md can be filled by reading
+// the output.
+#pragma once
+
+#include <array>
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "anticollision/experiment.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "sim/scenario.hpp"
+
+namespace rfid::bench {
+
+/// Monte-Carlo rounds per paper case. The paper uses 100 everywhere; the
+/// 50000-tag case is scaled down by default to keep full bench sweeps in
+/// the minutes range on one core. RFID_ROUNDS=<n> forces n rounds for every
+/// case.
+inline std::size_t roundsForCase(std::size_t caseIndex) {
+  static constexpr std::array<std::size_t, 4> kDefaults = {100, 50, 10, 3};
+  const std::uint64_t forced = common::envOr("RFID_ROUNDS", 0);
+  if (forced > 0) {
+    return forced;
+  }
+  return kDefaults.at(caseIndex);
+}
+
+/// Experiment configuration for paper case `caseIndex` (Table VI).
+inline anticollision::ExperimentConfig paperConfig(
+    std::size_t caseIndex, anticollision::ProtocolKind protocol,
+    anticollision::SchemeKind scheme, unsigned strength = 8) {
+  const sim::PaperCase& pc = sim::paperCases().at(caseIndex);
+  anticollision::ExperimentConfig cfg;
+  cfg.protocol = protocol;
+  cfg.scheme = scheme;
+  cfg.qcdStrength = strength;
+  cfg.tagCount = pc.tagCount;
+  cfg.frameSize = pc.frameSize;
+  cfg.rounds = roundsForCase(caseIndex);
+  cfg.seed = 20100913;  // ICPP 2010 opened on 2010-09-13
+  return cfg;
+}
+
+inline void printHeader(const std::string& experiment,
+                        const std::string& paperStatement) {
+  std::cout << "=== " << experiment << " ===\n"
+            << "Paper: " << paperStatement << "\n\n";
+}
+
+inline void printFooter() { std::cout << std::endl; }
+
+}  // namespace rfid::bench

@@ -1,0 +1,53 @@
+// Figure 6 — average identification delay, CRC-CD vs QCD (8-bit), per paper
+// case under FSA.
+//
+// Paper reading: QCD reduces the average delay by more than 80% in all four
+// cases, and the QCD delays concentrate more sharply around their mean
+// (QCD's idle/collided slots are 6× shorter, so a tag's position in the
+// schedule costs far less wall-clock).
+#include "bench_support.hpp"
+#include "common/table.hpp"
+
+using namespace rfid;
+using anticollision::ProtocolKind;
+using anticollision::SchemeKind;
+
+int main() {
+  bench::printHeader(
+      "Figure 6 — identification delay, CRC-CD vs QCD (8-bit) on FSA",
+      "QCD cuts average delay by >80%; QCD delays are more concentrated");
+
+  common::TextTable table({"Case", "D_avg CRC-CD (us)", "D_avg QCD (us)",
+                           "reduction", "reduction (paper's accounting)",
+                           "stddev CRC-CD", "stddev QCD"});
+  for (std::size_t c = 0; c < 4; ++c) {
+    const auto crcCfg =
+        bench::paperConfig(c, ProtocolKind::kFsa, SchemeKind::kCrcCd);
+    const auto qcdCfg =
+        bench::paperConfig(c, ProtocolKind::kFsa, SchemeKind::kQcd);
+    // The paper's >80% figure matches QCD delays accounted *without* the
+    // l_id-bit ID phase of single slots (every slot = 2l bit-times).
+    auto qcdPaperCfg = qcdCfg;
+    qcdPaperCfg.qcdChargeIdPhase = false;
+    const auto crc = anticollision::runExperiment(crcCfg);
+    const auto qcd = anticollision::runExperiment(qcdCfg);
+    const auto qcdPaper = anticollision::runExperiment(qcdPaperCfg);
+    const double dCrc = crc.meanDelayMicros.mean();
+    const double dQcd = qcd.meanDelayMicros.mean();
+    const double dQcdPaper = qcdPaper.meanDelayMicros.mean();
+    table.addRow({sim::paperCases()[c].name, common::fmtDouble(dCrc, 0),
+                  common::fmtDouble(dQcd, 0),
+                  common::fmtPercent((dCrc - dQcd) / dCrc),
+                  common::fmtPercent((dCrc - dQcdPaper) / dCrc),
+                  common::fmtDouble(crc.delayStddevMicros.mean(), 0),
+                  common::fmtDouble(qcd.delayStddevMicros.mean(), 0)});
+  }
+  std::cout << table;
+  std::cout << "\nNote: with the ID phase charged to the timeline the "
+               "reduction is ~61%; the paper's \">80%\" matches the "
+               "accounting where a QCD slot always costs 2l bit-times "
+               "(ID transfer not counted into delay). Both columns use the "
+               "same protocol runs.\n";
+  bench::printFooter();
+  return 0;
+}

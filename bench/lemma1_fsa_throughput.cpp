@@ -1,0 +1,68 @@
+// Lemma 1: the throughput of FSA peaks at λ_max = 1/e ≈ 0.368 when the
+// frame length equals the number of tags. This bench sweeps the load factor
+// n/F and prints measured single-frame throughput next to the closed form
+// (n/F)·e^(−n/F).
+#include "anticollision/fsa.hpp"
+#include "bench_support.hpp"
+#include "common/table.hpp"
+#include "phy/channel.hpp"
+#include "sim/montecarlo.hpp"
+#include "tags/population.hpp"
+#include "theory/lemmas.hpp"
+
+using namespace rfid;
+
+namespace {
+
+/// Measures the slot census of exactly one FSA frame of size F over n tags.
+double singleFrameThroughput(std::size_t tags, std::size_t frame,
+                             std::size_t rounds, std::uint64_t seed) {
+  const auto results = sim::runMonteCarlo(
+      rounds, seed,
+      [&](common::Rng& rng, sim::Metrics& metrics) {
+        const core::QcdScheme scheme{phy::AirInterface{}, 8};
+        phy::OrChannel channel;
+        sim::SlotEngine engine(scheme, channel, metrics);
+        auto population = tags::makeUniformPopulation(tags, 64, rng);
+        // Cap at one frame: the Lemma-1 statement is per detecting frame.
+        anticollision::FramedSlottedAloha fsa(frame, /*maxSlots=*/frame);
+        (void)fsa.run(engine, population, rng);
+      },
+      0);
+  double singles = 0.0;
+  for (const auto& m : results) {
+    singles += static_cast<double>(m.detectedCensus().single);
+  }
+  return singles / (static_cast<double>(rounds) * static_cast<double>(frame));
+}
+
+}  // namespace
+
+int main() {
+  bench::printHeader(
+      "Lemma 1 — FSA throughput law",
+      "lambda = (n/F)e^(-n/F); maximum 1/e ~= 0.37 at F = n (paper: 0.37)");
+
+  constexpr std::size_t kFrame = 512;
+  const std::size_t rounds = std::max<std::size_t>(8, bench::roundsForCase(1) / 5);
+
+  common::TextTable table(
+      {"load n/F", "tags n", "frame F", "lambda (theory)", "lambda (measured)"});
+  for (const double load : {0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0}) {
+    const auto tags = static_cast<std::size_t>(load * kFrame);
+    const double theory = theory::fsaExpectedThroughput(
+        static_cast<double>(tags), static_cast<double>(kFrame));
+    const double measured =
+        singleFrameThroughput(tags, kFrame, rounds, 42 + tags);
+    table.addRow({common::fmtDouble(load, 2), common::fmtCount(tags),
+                  common::fmtCount(kFrame), common::fmtDouble(theory, 4),
+                  common::fmtDouble(measured, 4)});
+  }
+  std::cout << table;
+
+  std::cout << "\nlambda_max (theory) = " << common::fmtDouble(
+                   theory::fsaMaxThroughput(), 4)
+            << " at F = n; paper rounds this to 0.37.\n";
+  bench::printFooter();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Microbenchmarks of the signal substrate: BitVec superposition (the OR
+// channel's inner loop), complement, concatenation and slicing — the
+// operations every simulated slot executes.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "common/rng.hpp"
+#include "phy/channel.hpp"
+
+using namespace rfid;
+
+namespace {
+
+void BM_BitVecOr(benchmark::State& state) {
+  common::Rng rng(1);
+  common::BitVec a = rng.bitvec(static_cast<std::size_t>(state.range(0)));
+  const common::BitVec b = rng.bitvec(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    a |= b;
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_BitVecOr)->Arg(16)->Arg(96)->Arg(1024);
+
+void BM_BitVecComplement(benchmark::State& state) {
+  common::Rng rng(2);
+  const common::BitVec a = rng.bitvec(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.complemented());
+  }
+}
+BENCHMARK(BM_BitVecComplement)->Arg(16)->Arg(96)->Arg(1024);
+
+void BM_BitVecConcat(benchmark::State& state) {
+  common::Rng rng(3);
+  const common::BitVec r = rng.bitvec(8);
+  const common::BitVec c = rng.bitvec(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(r.concat(c));
+  }
+}
+BENCHMARK(BM_BitVecConcat);
+
+void BM_BitVecSlice(benchmark::State& state) {
+  common::Rng rng(4);
+  const common::BitVec s = rng.bitvec(96);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.slice(64, 32));
+  }
+}
+BENCHMARK(BM_BitVecSlice);
+
+void BM_ChannelSuperpose(benchmark::State& state) {
+  common::Rng rng(5);
+  phy::OrChannel channel;
+  std::vector<common::BitVec> tx;
+  for (int i = 0; i < state.range(0); ++i) {
+    tx.push_back(rng.bitvec(16));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(channel.superpose(tx, rng));
+  }
+}
+BENCHMARK(BM_ChannelSuperpose)->Arg(1)->Arg(2)->Arg(8)->Arg(32);
+
+}  // namespace

@@ -1,0 +1,47 @@
+// Table VIII — Binary Tree simulation: total slots ("# of frame" in the
+// paper's table is the slot count for BT), slot census and throughput for
+// the four paper cases.
+//
+// Paper rows (case: slots / idle / single / collided / throughput):
+//   I:   137    /  19    /   50   /   68   / 0.36
+//   II:  1426   /  214   /  500   /  712   / 0.35
+//   III: 14374  /  2187  / 5000   / 7187   / 0.34
+//   IV:  143998 / 21999  / 50000  / 71999  / 0.34
+#include "bench_support.hpp"
+#include "common/table.hpp"
+
+using namespace rfid;
+using anticollision::ProtocolKind;
+using anticollision::SchemeKind;
+
+int main() {
+  bench::printHeader(
+      "Table VIII — Binary Tree based simulation",
+      "throughput 0.36 / 0.35 / 0.34 / 0.34 for cases I-IV; slot counts per "
+      "Lemma 2 (2.885n)");
+
+  const char* paperRows[4] = {"137 / 19 / 50 / 68 / 0.36",
+                              "1426 / 214 / 500 / 712 / 0.35",
+                              "14374 / 2187 / 5000 / 7187 / 0.34",
+                              "143998 / 21999 / 50000 / 71999 / 0.34"};
+
+  common::TextTable table({"Case", "# tags", "rounds", "# slots", "# idle",
+                           "# single", "# collided", "throughput",
+                           "paper (slots/idle/single/collided/thr)"});
+  for (std::size_t c = 0; c < 4; ++c) {
+    const auto cfg = bench::paperConfig(c, ProtocolKind::kBt, SchemeKind::kQcd);
+    const auto r = anticollision::runExperiment(cfg);
+    table.addRow({sim::paperCases()[c].name,
+                  common::fmtCount(cfg.tagCount),
+                  common::fmtCount(cfg.rounds),
+                  common::fmtDouble(r.totalSlots.mean(), 0),
+                  common::fmtDouble(r.idleSlots.mean(), 0),
+                  common::fmtDouble(r.singleSlots.mean(), 0),
+                  common::fmtDouble(r.collidedSlots.mean(), 0),
+                  common::fmtDouble(r.throughput.mean(), 3),
+                  paperRows[c]});
+  }
+  std::cout << table;
+  bench::printFooter();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Gen2 inventory — the paper's idea dropped into the real EPC Gen2 command
+// exchange. A stock Gen2 tag answers a Query with a structureless RN16, so
+// the reader discovers collisions only after wasting an ACK and a reply
+// timeout; filling the same 16 bits with QCD's r ⊕ ~r classifies the slot
+// before the ACK, and the EPC CRC-16 backstops the rare preamble evasions.
+//
+//   $ ./gen2_inventory [--tags 300] [--q 4] [--c 0.3] [--seed 21]
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "gen2/reader.hpp"
+
+using namespace rfid;
+using gen2::Gen2Reader;
+using gen2::Gen2Timing;
+using gen2::InventoryResult;
+using gen2::Rn16Mode;
+
+int main(int argc, char** argv) {
+  common::ArgParser args("gen2_inventory",
+                         "EPC Gen2 inventory with plain vs QCD RN16s");
+  args.addInt("tags", 300, "tags in the field")
+      .addInt("q", 4, "initial Q (frame = 2^Q slots)")
+      .addDouble("c", 0.3, "Q adjustment step")
+      .addInt("seed", 21, "random seed");
+  if (!args.parse(argc, argv)) {
+    return 0;
+  }
+  const auto tags = static_cast<std::size_t>(args.getInt("tags"));
+  const auto q = static_cast<double>(args.getInt("q"));
+  const double c = args.getDouble("c");
+  const auto seed = static_cast<std::uint64_t>(args.getInt("seed"));
+
+  common::TextTable table({"RN16 mode", "slots", "query rounds",
+                           "wasted ACKs", "detected collisions",
+                           "EPC collisions", "reads", "airtime (us)"});
+  InventoryResult results[2];
+  const Rn16Mode modes[2] = {Rn16Mode::kPlain, Rn16Mode::kQcdPreamble};
+  const char* labels[2] = {"plain Gen2", "QCD[l=8] preamble"};
+  for (int m = 0; m < 2; ++m) {
+    common::Rng rng(seed);
+    auto population = gen2::makeGen2Population(tags, rng);
+    const Gen2Reader reader(Gen2Timing{}, modes[m], q, c);
+    results[m] = reader.inventory(population, rng);
+    const InventoryResult& r = results[m];
+    if (!r.completed) {
+      std::cerr << labels[m] << ": inventory hit the slot budget\n";
+    }
+    table.addRow({labels[m], common::fmtCount(r.slots),
+                  common::fmtCount(r.queryRounds),
+                  common::fmtCount(r.wastedAcks),
+                  common::fmtCount(r.detectedCollisions),
+                  common::fmtCount(r.epcCollisions),
+                  common::fmtCount(r.successReads),
+                  common::fmtDouble(r.airtimeMicros, 0)});
+  }
+  std::cout << table;
+  std::cout << "\nQCD preambles save "
+            << common::fmtPercent(1.0 - results[1].airtimeMicros /
+                                            results[0].airtimeMicros)
+            << " of inventory airtime by shedding the ACK + timeout on "
+               "every detected collision.\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Protocol tour — run every anti-collision protocol in the library under
+// every detection scheme on one population and print the full comparison:
+// the paper's compatibility claim ("QCD does not require any modification
+// on upper-level air protocols") made tangible.
+//
+//   $ ./protocol_tour [--tags 500] [--frame 300] [--rounds 10] [--seed 5]
+#include <iostream>
+
+#include "anticollision/experiment.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+
+using namespace rfid;
+using anticollision::ProtocolKind;
+using anticollision::SchemeKind;
+
+int main(int argc, char** argv) {
+  common::ArgParser args("protocol_tour",
+                         "every protocol x every detection scheme");
+  args.addInt("tags", 500, "number of tags")
+      .addInt("frame", 300, "FSA frame / adaptive initial frame")
+      .addInt("rounds", 10, "Monte-Carlo rounds per cell")
+      .addInt("seed", 5, "random seed");
+  if (!args.parse(argc, argv)) {
+    return 0;
+  }
+
+  const ProtocolKind protocols[] = {
+      ProtocolKind::kFsa,         ProtocolKind::kDfsaLowerBound,
+      ProtocolKind::kDfsaSchoute, ProtocolKind::kDfsaVogt,
+      ProtocolKind::kQAdaptive,   ProtocolKind::kBt,
+      ProtocolKind::kAbs,         ProtocolKind::kQt,
+      ProtocolKind::kAqs,
+  };
+  const SchemeKind schemes[] = {SchemeKind::kCrcCd, SchemeKind::kQcd,
+                                SchemeKind::kIdeal};
+
+  common::TextTable table({"protocol", "scheme", "slots", "throughput",
+                           "time (us)", "accuracy", "identified"});
+  for (const auto protocol : protocols) {
+    for (const auto scheme : schemes) {
+      anticollision::ExperimentConfig cfg;
+      cfg.protocol = protocol;
+      cfg.scheme = scheme;
+      cfg.tagCount = static_cast<std::size_t>(args.getInt("tags"));
+      cfg.frameSize = static_cast<std::size_t>(args.getInt("frame"));
+      cfg.rounds = static_cast<std::size_t>(args.getInt("rounds"));
+      cfg.seed = static_cast<std::uint64_t>(args.getInt("seed"));
+      const auto r = anticollision::runExperiment(cfg);
+      table.addRow(
+          {toString(protocol), toString(scheme),
+           common::fmtDouble(r.totalSlots.mean(), 0),
+           common::fmtDouble(r.throughput.mean(), 3),
+           common::fmtDouble(r.airtimeMicros.mean(), 0),
+           common::fmtPercent(r.detectionAccuracy.mean()),
+           common::fmtCount(static_cast<std::uint64_t>(
+               r.completedRounds == cfg.rounds ? cfg.tagCount : 0))});
+    }
+    table.addRule();
+  }
+  std::cout << table;
+  std::cout << "\nEvery protocol completes under every scheme — the "
+               "detection layer is orthogonal to the arbitration layer.\n";
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Sensor-network neighbor discovery — the §VII extension as an application.
+// A freshly deployed sensor field must learn who its neighbors are; nodes
+// contend with Bernoulli transmissions and the listener classifies each
+// slot with a collision-detection scheme. Compare discovery latency with
+// CRC-framed packets vs QCD preambles, and optionally protect the
+// discovered IDs with randomized bit encoding on the backward channel.
+//
+//   $ ./sensornet_discovery [--nodes 150] [--strength 8] [--seed 17]
+//                           [--rbe-chips 0]
+#include <iostream>
+
+#include "anticollision/birthday.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/detection_scheme.hpp"
+#include "phy/channel.hpp"
+#include "privacy/backward_channel.hpp"
+#include "sim/engine.hpp"
+#include "tags/population.hpp"
+#include "theory/lemmas.hpp"
+
+using namespace rfid;
+
+namespace {
+
+sim::Metrics discoverOnce(const core::DetectionScheme& scheme,
+                          std::size_t nodes, std::uint64_t seed) {
+  common::Rng rng(seed);
+  phy::OrChannel channel;
+  sim::Metrics metrics;
+  sim::SlotEngine engine(scheme, channel, metrics);
+  auto field = tags::makeUniformPopulation(nodes, scheme.air().idBits, rng);
+  anticollision::BirthdayProtocol protocol;
+  if (!protocol.run(engine, field, rng)) {
+    std::cerr << "discovery hit the slot cap\n";
+  }
+  return metrics;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::ArgParser args("sensornet_discovery",
+                         "neighbor discovery with QCD vs CRC packets");
+  args.addInt("nodes", 150, "sensor nodes in radio range")
+      .addInt("strength", 8, "QCD strength l")
+      .addInt("seed", 17, "random seed")
+      .addInt("rbe-chips", 0,
+              "if > 1, demo randomized-bit-encoding protection of one "
+              "discovered ID with this many chips per bit");
+  if (!args.parse(argc, argv)) {
+    return 0;
+  }
+  const auto nodes = static_cast<std::size_t>(args.getInt("nodes"));
+  const auto strength = static_cast<unsigned>(args.getInt("strength"));
+  const auto seed = static_cast<std::uint64_t>(args.getInt("seed"));
+
+  const phy::AirInterface air;
+  const core::QcdScheme qcd{air, strength};
+  const core::CrcCdScheme crc{air};
+
+  const sim::Metrics mQcd = discoverOnce(qcd, nodes, seed);
+  const sim::Metrics mCrc = discoverOnce(crc, nodes, seed);
+
+  common::TextTable table({"", "QCD preambles", "CRC-framed packets"});
+  table.addRow({"slots", common::fmtCount(mQcd.detectedCensus().total()),
+                common::fmtCount(mCrc.detectedCensus().total())});
+  table.addRow({"discovery time (us)",
+                common::fmtDouble(mQcd.totalAirtimeMicros(), 0),
+                common::fmtDouble(mCrc.totalAirtimeMicros(), 0)});
+  table.addRow({"neighbors discovered",
+                common::fmtCount(mQcd.correctlyIdentified()),
+                common::fmtCount(mCrc.correctlyIdentified())});
+  std::cout << table;
+  std::cout << "\nQCD saves "
+            << common::fmtPercent(
+                   theory::eiFromTimes(mCrc.totalAirtimeMicros(),
+                                       mQcd.totalAirtimeMicros()))
+            << " of discovery airtime (theory anchor: ~e*n slots = "
+            << common::fmtDouble(
+                   anticollision::birthdayExpectedSlotsWithSilencing(nodes),
+                   0)
+            << ").\n";
+
+  const auto chips = static_cast<std::size_t>(args.getInt("rbe-chips"));
+  if (chips > 1) {
+    common::Rng rng(seed + 1);
+    const common::BitVec id = rng.bitvec(air.idBits);
+    const common::BitVec encoded = privacy::rbeEncode(id, chips, rng);
+    std::cout << "\nRBE demo (q = " << chips << "):\n  ID       " << id.toString()
+              << "\n  decodes  "
+              << privacy::rbeDecode(encoded, chips).toString()
+              << "\n  residual eavesdropper entropy at 95% chip capture: "
+              << common::fmtDouble(
+                     static_cast<double>(air.idBits) *
+                         privacy::rbeResidualEntropyPerBit(chips, 0.95),
+                     1)
+              << " bits of " << air.idBits << "\n";
+  }
+  return 0;
+}

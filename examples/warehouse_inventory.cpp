@@ -1,0 +1,123 @@
+// Warehouse inventory — the paper's Table V deployment as an application:
+// a 100 m × 100 m hall scanned by a 10 × 10 grid of readers with 3 m read
+// range, tagged pallets scattered uniformly. Each reader inventories its
+// cell independently (the 3 m discs on a 10 m grid are disjoint, so there
+// are no reader-reader or reader-tag collisions — the assumption of §II
+// holds geometrically).
+//
+//   $ ./warehouse_inventory [--tags 2000] [--strength 8] [--seed 7]
+//                           [--scheme qcd|crc] [--protocol dfsa|fsa]
+#include <algorithm>
+#include <iostream>
+
+#include "anticollision/dfsa.hpp"
+#include "anticollision/fsa.hpp"
+#include "common/cli.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/detection_scheme.hpp"
+#include "phy/channel.hpp"
+#include "sim/engine.hpp"
+#include "sim/spatial.hpp"
+#include "tags/population.hpp"
+
+using namespace rfid;
+
+int main(int argc, char** argv) {
+  common::ArgParser args("warehouse_inventory",
+                         "multi-reader inventory of a tagged warehouse "
+                         "(Table V deployment)");
+  args.addInt("tags", 2000, "pallet tags scattered in the hall")
+      .addInt("strength", 8, "QCD strength l")
+      .addInt("seed", 7, "random seed")
+      .addString("scheme", "qcd", "detection scheme: qcd | crc")
+      .addString("protocol", "dfsa", "per-cell protocol: dfsa | fsa");
+  if (!args.parse(argc, argv)) {
+    return 0;
+  }
+  const auto totalTags = static_cast<std::size_t>(args.getInt("tags"));
+  const auto strength = static_cast<unsigned>(args.getInt("strength"));
+  common::Rng rng(static_cast<std::uint64_t>(args.getInt("seed")));
+
+  // --- deployment geometry -------------------------------------------------
+  const sim::Deployment hall = sim::paperDeployment();
+  const auto readers = sim::gridReaderLayout(hall);
+  const auto pallets = sim::uniformTagLayout(hall, totalTags, rng);
+  const auto cells =
+      sim::assignTagsToReaders(readers, pallets, hall.readerRangeMeters);
+
+  std::cout << "Hall " << hall.areaSideMeters << " m x "
+            << hall.areaSideMeters << " m, " << readers.size()
+            << " readers (range " << hall.readerRangeMeters << " m)\n"
+            << "Pallets: " << totalTags << " total, "
+            << cells.coveredCount() << " in range of a reader, "
+            << cells.uncovered.size() << " unreadable (coverage "
+            << common::fmtPercent(static_cast<double>(cells.coveredCount()) /
+                                  static_cast<double>(totalTags))
+            << ")\n\n";
+
+  // --- per-cell inventory ----------------------------------------------------
+  const phy::AirInterface air;
+  std::unique_ptr<core::DetectionScheme> scheme;
+  if (args.getString("scheme") == "crc") {
+    scheme = std::make_unique<core::CrcCdScheme>(air);
+  } else {
+    scheme = std::make_unique<core::QcdScheme>(air, strength);
+  }
+  const bool useDfsa = args.getString("protocol") != "fsa";
+
+  phy::OrChannel channel;
+  common::RunningStats cellSizes;
+  common::RunningStats cellTimes;
+  std::size_t identified = 0;
+  std::size_t phantoms = 0;
+  double makespan = 0.0;
+  double sequentialTotal = 0.0;
+
+  for (const auto& cell : cells.cells) {
+    if (cell.empty()) continue;
+    cellSizes.add(static_cast<double>(cell.size()));
+    common::Rng cellRng(rng());
+    auto population =
+        tags::makeUniformPopulation(cell.size(), air.idBits, cellRng);
+    sim::Metrics metrics;
+    sim::SlotEngine engine(*scheme, channel, metrics);
+    bool ok = false;
+    if (useDfsa) {
+      anticollision::DynamicFsa dfsa(anticollision::EstimatorKind::kSchoute,
+                                     16);
+      ok = dfsa.run(engine, population, cellRng);
+    } else {
+      anticollision::FramedSlottedAloha fsa(
+          std::max<std::size_t>(4, cell.size()));
+      ok = fsa.run(engine, population, cellRng);
+    }
+    if (!ok) {
+      std::cerr << "a cell hit its slot cap\n";
+    }
+    identified += tags::countCorrectlyIdentified(population);
+    phantoms += metrics.phantoms();
+    cellTimes.add(metrics.totalAirtimeMicros());
+    makespan = std::max(makespan, metrics.totalAirtimeMicros());
+    sequentialTotal += metrics.totalAirtimeMicros();
+  }
+
+  common::TextTable table({"metric", "value"});
+  table.addRow({"scheme", scheme->name()});
+  table.addRow({"protocol", useDfsa ? "DFSA[Schoute]" : "FSA[F=cell size]"});
+  table.addRow({"occupied cells",
+                common::fmtCount(static_cast<std::uint64_t>(cellSizes.count()))});
+  table.addRow({"mean pallets/cell", common::fmtDouble(cellSizes.mean(), 1)});
+  table.addRow({"identified pallets", common::fmtCount(identified)});
+  table.addRow({"phantom reads", common::fmtCount(phantoms)});
+  table.addRow({"mean cell inventory time (us)",
+                common::fmtDouble(cellTimes.mean(), 0)});
+  table.addRow({"makespan, readers in parallel (us)",
+                common::fmtDouble(makespan, 0)});
+  table.addRow({"sequential activation total (us)",
+                common::fmtDouble(sequentialTotal, 0)});
+  std::cout << table;
+  std::cout << "\nTip: rerun with --scheme crc to see the CRC-CD baseline, "
+               "or --protocol fsa for static frames.\n";
+  return 0;
+}

@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# Rebuilds everything, runs the full test suite and every bench binary, and
+# leaves the transcripts next to the sources (the final artifacts quoted by
+# EXPERIMENTS.md).
+set -eu
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt

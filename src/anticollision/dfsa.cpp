@@ -1,0 +1,77 @@
+#include "anticollision/dfsa.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace rfid::anticollision {
+
+DynamicFsa::DynamicFsa(EstimatorKind estimator, std::size_t initialFrame,
+                       std::size_t minFrame, std::size_t maxFrame,
+                       std::size_t maxSlots)
+    : Protocol(maxSlots),
+      estimator_(estimator),
+      initialFrame_(initialFrame),
+      minFrame_(minFrame),
+      maxFrame_(maxFrame) {
+  RFID_REQUIRE(minFrame >= 1, "minimum frame must have at least one slot");
+  RFID_REQUIRE(minFrame <= maxFrame, "minFrame must not exceed maxFrame");
+  RFID_REQUIRE(initialFrame >= minFrame && initialFrame <= maxFrame,
+               "initial frame must lie within [minFrame, maxFrame]");
+}
+
+std::string DynamicFsa::name() const {
+  return "DFSA[" + toString(estimator_) + "]";
+}
+
+bool DynamicFsa::run(sim::SlotEngine& engine, std::span<tags::Tag> tags,
+                     common::Rng& rng) {
+  const std::vector<std::size_t> blockers = blockerIndices(tags);
+  std::vector<std::vector<std::size_t>> buckets;
+  std::vector<std::size_t> responders;
+  std::size_t frameSize = initialFrame_;
+  std::size_t slotsUsed = 0;
+
+  // Like FSA, the reader confirms completion with a terminal frame that
+  // draws no response (it cannot observe the ground truth).
+  for (;;) {
+    const std::vector<std::size_t> active = activeTagIndices(tags);
+    const bool anyResponse = !active.empty() || !blockers.empty();
+    engine.metrics().recordFrame();
+    buckets.assign(frameSize, {});
+    for (const std::size_t idx : active) {
+      const auto slot = static_cast<std::uint32_t>(rng.below(frameSize));
+      tags[idx].slotChoice = slot;
+      buckets[slot].push_back(idx);
+    }
+
+    FrameCensus census;
+    census.frameSize = frameSize;
+    for (std::size_t s = 0; s < frameSize; ++s) {
+      if (slotsUsed++ >= maxSlots()) {
+        return false;
+      }
+      responders = buckets[s];
+      responders.insert(responders.end(), blockers.begin(), blockers.end());
+      switch (engine.runSlot(tags, responders, rng)) {
+        case phy::SlotType::kIdle:
+          ++census.idle;
+          break;
+        case phy::SlotType::kSingle:
+          ++census.single;
+          break;
+        case phy::SlotType::kCollided:
+          ++census.collided;
+          break;
+      }
+    }
+
+    if (!anyResponse) {
+      return true;
+    }
+    const std::size_t backlog = estimateBacklog(estimator_, census);
+    frameSize = std::clamp(backlog, minFrame_, maxFrame_);
+  }
+}
+
+}  // namespace rfid::anticollision

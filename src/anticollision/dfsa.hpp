@@ -1,0 +1,32 @@
+// Dynamic Framed Slotted ALOHA (Lee et al., §II).
+//
+// After each frame the reader estimates the backlog from the observed slot
+// census and sizes the next frame to match it (Lemma 1: throughput peaks at
+// F = n).
+#pragma once
+
+#include "anticollision/estimators.hpp"
+#include "anticollision/protocol.hpp"
+
+namespace rfid::anticollision {
+
+class DynamicFsa final : public Protocol {
+ public:
+  DynamicFsa(EstimatorKind estimator, std::size_t initialFrame = 128,
+             std::size_t minFrame = 4, std::size_t maxFrame = 1 << 16,
+             std::size_t maxSlots = kDefaultMaxSlots);
+
+  std::string name() const override;
+  bool run(sim::SlotEngine& engine, std::span<tags::Tag> tags,
+           common::Rng& rng) override;
+
+  EstimatorKind estimator() const noexcept { return estimator_; }
+
+ private:
+  EstimatorKind estimator_;
+  std::size_t initialFrame_;
+  std::size_t minFrame_;
+  std::size_t maxFrame_;
+};
+
+}  // namespace rfid::anticollision

@@ -1,0 +1,41 @@
+// Tag-cardinality estimators for Dynamic FSA frame sizing.
+//
+// DFSA (Lee et al., §II) resizes each frame to the estimated number of
+// still-unidentified tags, since Lemma 1 says throughput peaks at F = n.
+// The reader only observes the (idle, single, collided) census of the
+// previous frame, so it estimates:
+//
+//   * lower bound  — every collision hides ≥ 2 tags:       n̂ = 2·c
+//   * Schoute      — expected collision multiplicity 2.39:  n̂ = 2.39·c
+//   * Vogt         — χ² fit of the expected census over n
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rfid::anticollision {
+
+enum class EstimatorKind { kLowerBound, kSchoute, kVogt };
+
+std::string toString(EstimatorKind kind);
+
+/// Census of one completed frame.
+struct FrameCensus {
+  std::size_t frameSize = 0;
+  std::uint64_t idle = 0;
+  std::uint64_t single = 0;
+  std::uint64_t collided = 0;
+};
+
+/// Estimated number of tags that remain unidentified after the frame
+/// (identified singles are already excluded).
+std::size_t estimateBacklog(EstimatorKind kind, const FrameCensus& census);
+
+/// Vogt's estimate of how many tags *contended* in the frame: the n
+/// minimising the squared distance between the expected census
+/// (F·e₀, F·e₁, F·e_c) and the observed one. Searches
+/// n ∈ [single + 2·collided, searchCeiling].
+std::size_t vogtContenderEstimate(const FrameCensus& census,
+                                  std::size_t searchCeiling);
+
+}  // namespace rfid::anticollision

@@ -1,0 +1,88 @@
+// High-level experiment runner: protocol × detection scheme × population,
+// repeated over Monte-Carlo rounds with aggregation. This is the API the
+// bench binaries and examples drive; everything in the paper's evaluation
+// section is a configuration of runExperiment().
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "anticollision/protocol.hpp"
+#include "common/stats.hpp"
+#include "core/detection_scheme.hpp"
+#include "phy/air_interface.hpp"
+
+namespace rfid::anticollision {
+
+enum class SchemeKind { kCrcCd, kQcd, kIdeal };
+enum class ProtocolKind {
+  kFsa,
+  kDfsaLowerBound,
+  kDfsaSchoute,
+  kDfsaVogt,
+  kQAdaptive,
+  kBt,
+  kAbs,
+  kQt,
+  kAqs,
+};
+
+std::string toString(SchemeKind kind);
+std::string toString(ProtocolKind kind);
+
+struct ExperimentConfig {
+  ProtocolKind protocol = ProtocolKind::kFsa;
+  SchemeKind scheme = SchemeKind::kQcd;
+  /// QCD strength l (preamble is 2·l bits); ignored by other schemes.
+  unsigned qcdStrength = 8;
+  /// Charge the l_id-bit ID phase of a QCD single slot to the timeline
+  /// (physically complete accounting). See QcdScheme.
+  bool qcdChargeIdPhase = true;
+  std::size_t tagCount = 50;
+  /// FSA frame size / DFSA & Q-adaptive initial frame.
+  std::size_t frameSize = 30;
+  phy::AirInterface air{};
+  /// 0 = the paper's pure OR channel; > 0 enables the capture extension.
+  double captureProbability = 0.0;
+  std::size_t rounds = 100;
+  std::uint64_t seed = 42;
+  unsigned threads = 0;
+  std::size_t maxSlots = Protocol::kDefaultMaxSlots;
+};
+
+/// Per-round samples of every paper metric, aggregated over the rounds of
+/// one configuration.
+struct AggregateResult {
+  common::SampleSet idleSlots;
+  common::SampleSet singleSlots;
+  common::SampleSet collidedSlots;
+  common::SampleSet totalSlots;
+  common::SampleSet frames;
+  common::SampleSet throughput;          ///< λ (§III)
+  common::SampleSet airtimeMicros;       ///< total identification time
+  common::SampleSet meanDelayMicros;     ///< D_avg (§VI-D)
+  common::SampleSet delayStddevMicros;   ///< spread of per-tag delays
+  common::SampleSet detectionAccuracy;   ///< Fig. 5 metric
+  common::SampleSet utilizationRate;     ///< UR (§VI-C)
+  common::SampleSet phantoms;
+  common::SampleSet lostTags;
+  std::size_t completedRounds = 0;  ///< rounds that finished within maxSlots
+};
+
+/// Builds a detection scheme.
+std::unique_ptr<core::DetectionScheme> makeScheme(
+    SchemeKind kind, unsigned qcdStrength, const phy::AirInterface& air,
+    bool qcdChargeIdPhase = true);
+
+/// Builds a protocol instance.
+std::unique_ptr<Protocol> makeProtocol(ProtocolKind kind,
+                                       std::size_t frameSize,
+                                       std::size_t maxSlots);
+
+/// Runs `config.rounds` independent identification procedures and aggregates
+/// the per-round metrics. Deterministic in (config.seed); thread-count
+/// independent.
+AggregateResult runExperiment(const ExperimentConfig& config);
+
+}  // namespace rfid::anticollision

@@ -1,0 +1,75 @@
+// Anti-collision protocol interface.
+//
+// A protocol decides which tags respond in which slot; everything below
+// that decision (contention signal, channel superposition, classification,
+// airtime, identification handshakes) is the SlotEngine's job. This split is
+// what lets every protocol run unchanged under CRC-CD, QCD or the ideal
+// oracle — the paper's compatibility claim (§I).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/engine.hpp"
+#include "tags/tag.hpp"
+
+namespace rfid::anticollision {
+
+class Protocol {
+ public:
+  /// `maxSlots` is a safety cap: a run that exceeds it aborts and run()
+  /// returns false. Adversarial populations (blocker tags) rely on it.
+  explicit Protocol(std::size_t maxSlots = kDefaultMaxSlots)
+      : maxSlots_(maxSlots) {}
+  virtual ~Protocol() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Runs one full identification procedure: returns true when every honest
+  /// tag fell silent (believes it was identified) within the slot budget.
+  /// Callers reset tag state beforehand (Tag::resetForRound) unless the
+  /// protocol is adaptive across rounds (ABS/AQS keep reservation state).
+  virtual bool run(sim::SlotEngine& engine, std::span<tags::Tag> tags,
+                   common::Rng& rng) = 0;
+
+  std::size_t maxSlots() const noexcept { return maxSlots_; }
+
+  static constexpr std::size_t kDefaultMaxSlots = 20'000'000;
+
+ protected:
+  /// Indices of tags still contending (honest and not yet silenced).
+  static std::vector<std::size_t> activeTagIndices(
+      std::span<const tags::Tag> tags);
+  /// Indices of blocker tags (they respond in every slot they can hear).
+  static std::vector<std::size_t> blockerIndices(
+      std::span<const tags::Tag> tags);
+
+ private:
+  std::size_t maxSlots_;
+};
+
+inline std::vector<std::size_t> Protocol::activeTagIndices(
+    std::span<const tags::Tag> tags) {
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < tags.size(); ++i) {
+    if (!tags[i].blocker && !tags[i].believesIdentified) {
+      idx.push_back(i);
+    }
+  }
+  return idx;
+}
+
+inline std::vector<std::size_t> Protocol::blockerIndices(
+    std::span<const tags::Tag> tags) {
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < tags.size(); ++i) {
+    if (tags[i].blocker) {
+      idx.push_back(i);
+    }
+  }
+  return idx;
+}
+
+}  // namespace rfid::anticollision

@@ -1,0 +1,43 @@
+// Query Tree (Law et al., §II).
+//
+// The reader broadcasts a bit-string prefix; exactly the tags whose ID
+// starts with that prefix respond. A collided prefix is extended by one bit
+// in both directions. Identification is deterministic in the tag IDs —
+// QT is starvation-free — but an always-responding blocker tag forces every
+// query to collide and stalls the whole tree (Juels et al.'s blocker-tag
+// observation, reproduced in the adversarial tests).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "anticollision/protocol.hpp"
+
+namespace rfid::anticollision {
+
+/// A query prefix: the most-significant `length` bits of an ID.
+struct Prefix {
+  std::uint64_t value = 0;  ///< right-aligned prefix bits
+  unsigned length = 0;
+
+  bool matches(std::uint64_t id, std::size_t idBits) const noexcept {
+    return length == 0 ||
+           (id >> (idBits - length)) == value;
+  }
+  Prefix child(unsigned bit) const noexcept {
+    return Prefix{(value << 1) | bit, length + 1};
+  }
+  Prefix parent() const noexcept { return Prefix{value >> 1, length - 1}; }
+  bool operator==(const Prefix&) const = default;
+};
+
+class QueryTree final : public Protocol {
+ public:
+  explicit QueryTree(std::size_t maxSlots = kDefaultMaxSlots);
+
+  std::string name() const override;
+  bool run(sim::SlotEngine& engine, std::span<tags::Tag> tags,
+           common::Rng& rng) override;
+};
+
+}  // namespace rfid::anticollision

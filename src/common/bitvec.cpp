@@ -1,0 +1,185 @@
+#include "common/bitvec.hpp"
+
+#include <bit>
+
+#include "common/require.hpp"
+
+namespace rfid::common {
+
+BitVec::BitVec(std::size_t nbits, bool value)
+    : words_(wordCount(nbits), value ? ~std::uint64_t{0} : std::uint64_t{0}),
+      size_(nbits) {
+  clearPadding();
+}
+
+BitVec BitVec::fromUint(std::uint64_t value, std::size_t nbits) {
+  RFID_REQUIRE(nbits <= 64, "fromUint supports at most 64 bits");
+  RFID_REQUIRE(nbits == 64 || (value >> nbits) == 0,
+               "value does not fit in nbits bits");
+  BitVec v(nbits);
+  if (nbits > 0) {
+    v.words_[0] = value;
+  }
+  return v;
+}
+
+BitVec BitVec::fromString(std::string_view bits) {
+  BitVec v(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const char c = bits[i];
+    RFID_REQUIRE(c == '0' || c == '1', "BitVec string must contain only 0/1");
+    // Leftmost character is the most-significant / highest-index bit.
+    v.set(bits.size() - 1 - i, c == '1');
+  }
+  return v;
+}
+
+bool BitVec::test(std::size_t i) const {
+  RFID_REQUIRE(i < size_, "bit index out of range");
+  return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
+}
+
+void BitVec::set(std::size_t i, bool value) {
+  RFID_REQUIRE(i < size_, "bit index out of range");
+  const std::uint64_t mask = std::uint64_t{1} << (i % kWordBits);
+  if (value) {
+    words_[i / kWordBits] |= mask;
+  } else {
+    words_[i / kWordBits] &= ~mask;
+  }
+}
+
+bool BitVec::any() const noexcept {
+  for (const std::uint64_t w : words_) {
+    if (w != 0) return true;
+  }
+  return false;
+}
+
+bool BitVec::all() const noexcept {
+  if (size_ == 0) return true;
+  const std::size_t full = size_ / kWordBits;
+  for (std::size_t i = 0; i < full; ++i) {
+    if (words_[i] != ~std::uint64_t{0}) return false;
+  }
+  const std::size_t rem = size_ % kWordBits;
+  if (rem != 0) {
+    const std::uint64_t mask = (std::uint64_t{1} << rem) - 1;
+    if ((words_.back() & mask) != mask) return false;
+  }
+  return true;
+}
+
+std::size_t BitVec::popcount() const noexcept {
+  std::size_t n = 0;
+  for (const std::uint64_t w : words_) {
+    n += static_cast<std::size_t>(std::popcount(w));
+  }
+  return n;
+}
+
+BitVec& BitVec::operator|=(const BitVec& rhs) {
+  RFID_REQUIRE(size_ == rhs.size_, "operands must have equal size");
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] |= rhs.words_[i];
+  }
+  return *this;
+}
+
+BitVec& BitVec::operator&=(const BitVec& rhs) {
+  RFID_REQUIRE(size_ == rhs.size_, "operands must have equal size");
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] &= rhs.words_[i];
+  }
+  return *this;
+}
+
+BitVec& BitVec::operator^=(const BitVec& rhs) {
+  RFID_REQUIRE(size_ == rhs.size_, "operands must have equal size");
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] ^= rhs.words_[i];
+  }
+  return *this;
+}
+
+BitVec& BitVec::flip() {
+  for (std::uint64_t& w : words_) {
+    w = ~w;
+  }
+  clearPadding();
+  return *this;
+}
+
+BitVec BitVec::complemented() const {
+  BitVec v = *this;
+  v.flip();
+  return v;
+}
+
+BitVec BitVec::concat(const BitVec& rhs) const {
+  BitVec out(size_ + rhs.size_);
+  out.words_ = words_;
+  out.words_.resize(wordCount(out.size_), 0);
+  // Splice rhs in starting at bit offset size_.
+  const std::size_t shift = size_ % kWordBits;
+  const std::size_t base = size_ / kWordBits;
+  for (std::size_t i = 0; i < rhs.words_.size(); ++i) {
+    const std::uint64_t w = rhs.words_[i];
+    out.words_[base + i] |= (shift == 0) ? w : (w << shift);
+    if (shift != 0 && base + i + 1 < out.words_.size()) {
+      out.words_[base + i + 1] |= w >> (kWordBits - shift);
+    }
+  }
+  out.clearPadding();
+  return out;
+}
+
+BitVec BitVec::slice(std::size_t pos, std::size_t len) const {
+  RFID_REQUIRE(pos + len <= size_, "slice out of range");
+  BitVec out(len);
+  const std::size_t shift = pos % kWordBits;
+  const std::size_t base = pos / kWordBits;
+  for (std::size_t i = 0; i < out.words_.size(); ++i) {
+    std::uint64_t w = words_[base + i] >> shift;
+    if (shift != 0 && base + i + 1 < words_.size()) {
+      w |= words_[base + i + 1] << (kWordBits - shift);
+    }
+    out.words_[i] = w;
+  }
+  out.clearPadding();
+  return out;
+}
+
+std::uint64_t BitVec::toUint() const {
+  RFID_REQUIRE(size_ <= 64, "toUint requires at most 64 bits");
+  return words_.empty() ? 0 : words_[0];
+}
+
+std::string BitVec::toString() const {
+  std::string s(size_, '0');
+  for (std::size_t i = 0; i < size_; ++i) {
+    if (test(i)) {
+      s[size_ - 1 - i] = '1';
+    }
+  }
+  return s;
+}
+
+std::size_t BitVec::hash() const noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  constexpr std::uint64_t kPrime = 0x100000001b3ull;
+  h = (h ^ size_) * kPrime;
+  for (const std::uint64_t w : words_) {
+    h = (h ^ w) * kPrime;
+  }
+  return static_cast<std::size_t>(h);
+}
+
+void BitVec::clearPadding() noexcept {
+  const std::size_t rem = size_ % kWordBits;
+  if (rem != 0 && !words_.empty()) {
+    words_.back() &= (std::uint64_t{1} << rem) - 1;
+  }
+}
+
+}  // namespace rfid::common

@@ -1,0 +1,117 @@
+// BitVec — a word-packed, value-semantic bit vector.
+//
+// BitVec is the universal signal representation of the library: a tag's
+// backscatter transmission is a BitVec, and the superposition of several
+// concurrent transmissions on the reader's antenna is the bitwise Boolean
+// sum (operator|) of the individual BitVecs, following the OR-channel model
+// of the paper (§IV-A).
+//
+// Conventions:
+//   * bit index 0 is transmitted first (and is the least-significant bit of
+//     the integer view used by fromUint()/toUint());
+//   * toString() renders most-significant / last-transmitted bit first, so
+//     fromString("0110").toString() == "0110";
+//   * all binary operators require operands of equal size — superposed
+//     signals in a slot are time-aligned and equally long (§IV-A).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rfid::common {
+
+class BitVec {
+ public:
+  /// Empty vector (zero bits). Distinct from a vector of zero-valued bits.
+  BitVec() = default;
+
+  /// `nbits` bits, all initialised to `value`.
+  explicit BitVec(std::size_t nbits, bool value = false);
+
+  /// Builds a vector of `nbits` bits from the low bits of `value`.
+  /// Requires nbits <= 64 and that `value` fits in `nbits` bits.
+  static BitVec fromUint(std::uint64_t value, std::size_t nbits);
+
+  /// Parses "0101…" (most-significant bit first). Throws on other chars.
+  static BitVec fromString(std::string_view bits);
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  bool test(std::size_t i) const;
+  void set(std::size_t i, bool value);
+
+  /// True if at least one bit is 1 (an OR-channel carries energy).
+  bool any() const noexcept;
+  /// True if no bit is 1. An all-zero received signal means an idle slot.
+  bool none() const noexcept { return !any(); }
+  /// True if every bit is 1.
+  bool all() const noexcept;
+  /// Number of 1 bits.
+  std::size_t popcount() const noexcept;
+
+  /// Bitwise Boolean sum — the physical superposition of two aligned
+  /// transmissions. Sizes must match.
+  BitVec& operator|=(const BitVec& rhs);
+  BitVec& operator&=(const BitVec& rhs);
+  BitVec& operator^=(const BitVec& rhs);
+
+  friend BitVec operator|(BitVec lhs, const BitVec& rhs) { return lhs |= rhs; }
+  friend BitVec operator&(BitVec lhs, const BitVec& rhs) { return lhs &= rhs; }
+  friend BitVec operator^(BitVec lhs, const BitVec& rhs) { return lhs ^= rhs; }
+
+  /// In-place bitwise complement (the QCD collision function f(r) = ~r).
+  BitVec& flip();
+  /// Returns the bitwise complement, leaving *this untouched.
+  BitVec complemented() const;
+  friend BitVec operator~(const BitVec& v) { return v.complemented(); }
+
+  /// Concatenation: the result transmits *this first, then `rhs`
+  /// (the paper's ⊕ operator, e.g. the collision preamble r ⊕ f(r)).
+  BitVec concat(const BitVec& rhs) const;
+
+  /// Copies `len` bits starting at `pos` (in transmission order).
+  BitVec slice(std::size_t pos, std::size_t len) const;
+
+  /// Integer view of the whole vector. Requires size() <= 64.
+  std::uint64_t toUint() const;
+
+  /// Most-significant-bit-first textual rendering ("0110").
+  std::string toString() const;
+
+  friend bool operator==(const BitVec& a, const BitVec& b) noexcept {
+    return a.size_ == b.size_ && a.words_ == b.words_;
+  }
+  friend bool operator!=(const BitVec& a, const BitVec& b) noexcept {
+    return !(a == b);
+  }
+
+  /// FNV-1a over the canonical word representation.
+  std::size_t hash() const noexcept;
+
+ private:
+  static constexpr std::size_t kWordBits = 64;
+
+  static std::size_t wordCount(std::size_t nbits) {
+    return (nbits + kWordBits - 1) / kWordBits;
+  }
+  /// Zeroes the unused high bits of the last word so that the word array is
+  /// canonical (equality and popcount rely on this).
+  void clearPadding() noexcept;
+
+  std::vector<std::uint64_t> words_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace rfid::common
+
+template <>
+struct std::hash<rfid::common::BitVec> {
+  std::size_t operator()(const rfid::common::BitVec& v) const noexcept {
+    return v.hash();
+  }
+};

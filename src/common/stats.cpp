@@ -1,0 +1,109 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace rfid::common {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double SampleSet::mean() const {
+  RunningStats s;
+  for (const double x : samples_) s.add(x);
+  return s.mean();
+}
+
+double SampleSet::stddev() const {
+  RunningStats s;
+  for (const double x : samples_) s.add(x);
+  return s.stddev();
+}
+
+double SampleSet::min() const {
+  RFID_REQUIRE(!samples_.empty(), "min of empty sample set");
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SampleSet::max() const {
+  RFID_REQUIRE(!samples_.empty(), "max of empty sample set");
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double SampleSet::percentile(double p) const {
+  RFID_REQUIRE(!samples_.empty(), "percentile of empty sample set");
+  RFID_REQUIRE(p >= 0.0 && p <= 100.0, "percentile p must be in [0, 100]");
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+double SampleSet::ci95HalfWidth() const {
+  if (samples_.size() < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(samples_.size()));
+}
+
+double chiSquareStatistic(const std::vector<double>& observed,
+                          const std::vector<double>& expected) {
+  RFID_REQUIRE(observed.size() == expected.size() && !observed.empty(),
+               "observed/expected must be matched and non-empty");
+  double stat = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    RFID_REQUIRE(expected[i] > 0.0, "expected counts must be positive");
+    const double d = observed[i] - expected[i];
+    stat += d * d / expected[i];
+  }
+  return stat;
+}
+
+double chiSquareCritical001(std::size_t degreesOfFreedom) {
+  // chi2.ppf(0.999, k) for k = 1..10.
+  static constexpr double kTable[10] = {10.828, 13.816, 16.266, 18.467,
+                                        20.515, 22.458, 24.322, 26.124,
+                                        27.877, 29.588};
+  RFID_REQUIRE(degreesOfFreedom >= 1 && degreesOfFreedom <= 10,
+               "critical-value table covers 1..10 degrees of freedom");
+  return kTable[degreesOfFreedom - 1];
+}
+
+}  // namespace rfid::common

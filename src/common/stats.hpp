@@ -1,0 +1,73 @@
+// Streaming and batch statistics used by the Monte-Carlo harness.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rfid::common {
+
+/// Welford online accumulator: numerically stable mean/variance without
+/// storing samples. Mergeable, so per-thread accumulators can be combined.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  /// Mean of the samples seen so far (0 if empty).
+  double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance (0 if fewer than two samples).
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch sample container with order statistics; used where we need
+/// percentiles or confidence intervals (e.g. identification-delay spread,
+/// Fig. 6).
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  std::size_t count() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+  double mean() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  /// Linear-interpolation percentile, p in [0, 100].
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+  /// Half-width of the normal-approximation 95 % confidence interval on the
+  /// mean (1.96 σ/√n); 0 for fewer than two samples.
+  double ci95HalfWidth() const;
+
+  const std::vector<double>& samples() const noexcept { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// Pearson χ² statistic Σ (obs − exp)²/exp over matched categories.
+/// Expected counts must be positive; categories with expected < 5 should
+/// be pooled by the caller (standard χ² practice).
+double chiSquareStatistic(const std::vector<double>& observed,
+                          const std::vector<double>& expected);
+
+/// Upper critical values of the χ² distribution at significance 0.001 for
+/// small degrees of freedom (1..10) — enough for slot-census tests. Using
+/// α = 0.001 keeps fixed-seed simulations from tripping on ordinary noise.
+double chiSquareCritical001(std::size_t degreesOfFreedom);
+
+}  // namespace rfid::common

@@ -1,0 +1,100 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "common/require.hpp"
+
+namespace rfid::common {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  RFID_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void TextTable::addRow(std::vector<std::string> cells) {
+  RFID_REQUIRE(cells.size() == headers_.size(),
+               "row width must match header width");
+  rows_.push_back(Row{std::move(cells), false});
+}
+
+void TextTable::addRule() { rows_.push_back(Row{{}, true}); }
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const Row& row : rows_) {
+    if (row.rule) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto renderLine = [&](const std::vector<std::string>& cells) {
+    std::ostringstream os;
+    os << '|';
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      os << ' ' << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    os << '\n';
+    return os.str();
+  };
+  auto renderRule = [&] {
+    std::ostringstream os;
+    os << '+';
+    for (const std::size_t w : widths) {
+      os << std::string(w + 2, '-') << '+';
+    }
+    os << '\n';
+    return os.str();
+  };
+
+  std::ostringstream out;
+  out << renderRule() << renderLine(headers_) << renderRule();
+  for (const Row& row : rows_) {
+    out << (row.rule ? renderRule() : renderLine(row.cells));
+  }
+  out << renderRule();
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t) {
+  return os << t.str();
+}
+
+std::string fmtDouble(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+std::string fmtPercent(double fraction, int precision) {
+  return fmtDouble(fraction * 100.0, precision) + "%";
+}
+
+std::string fmtCount(std::uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  std::size_t lead = digits.size() % 3;
+  if (lead == 0) lead = 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - lead) % 3 == 0 && i >= lead) {
+      out.push_back(',');
+    }
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+std::string fmtWithCi(double v, double ci, int precision) {
+  return fmtDouble(v, precision) + " ± " + fmtDouble(ci, precision);
+}
+
+}  // namespace rfid::common

@@ -1,0 +1,45 @@
+// ASCII table rendering — benches print paper tables side by side with
+// measured values, so a small aligned-column formatter keeps output legible.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rfid::common {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; it must have exactly as many cells as there are headers.
+  void addRow(std::vector<std::string> cells);
+  /// Appends a horizontal rule (drawn as a dashed line).
+  void addRule();
+
+  std::size_t rowCount() const noexcept { return rows_.size(); }
+
+  /// Renders with a header row, outer borders and padded columns.
+  std::string str() const;
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule = false;
+  };
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+};
+
+/// Fixed-precision double ("1.2346" for fmtDouble(1.23456, 4)).
+std::string fmtDouble(double v, int precision = 4);
+/// Percentage with a trailing % ("58.64%").
+std::string fmtPercent(double fraction, int precision = 2);
+/// Integer with thousands separators ("1,234,567").
+std::string fmtCount(std::uint64_t v);
+/// value ± half-width with fixed precision.
+std::string fmtWithCi(double v, double ci, int precision = 3);
+
+}  // namespace rfid::common

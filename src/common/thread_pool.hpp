@@ -1,0 +1,67 @@
+// A small fixed-size thread pool plus a chunked parallel-for.
+//
+// The simulation hot loop is single-threaded and allocation-free; coarse
+// parallelism lives at the Monte-Carlo level (one task per round). Results
+// must be written by index into caller-owned storage so that parallel and
+// serial executions are bit-identical.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rfid::common {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (at least 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned threadCount() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueues a task; the future resolves when it finishes (exceptions
+  /// propagate through the future).
+  template <typename F>
+  std::future<std::invoke_result_t<F>> submit(F&& fn) {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+ private:
+  void workerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+/// Runs fn(i) for i in [begin, end) across up to `threads` workers
+/// (0 = hardware concurrency). fn must be safe to call concurrently for
+/// distinct i. Exceptions from fn propagate to the caller.
+void parallelFor(std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)>& fn,
+                 unsigned threads = 0);
+
+}  // namespace rfid::common

@@ -1,0 +1,88 @@
+#include "core/collision_function.hpp"
+
+#include <vector>
+
+#include "common/require.hpp"
+
+namespace rfid::core {
+
+using common::BitVec;
+
+BitVec complementFn(const BitVec& r) { return r.complemented(); }
+
+BitVec identityFn(const BitVec& r) { return r; }
+
+BitVec reverseFn(const BitVec& r) {
+  BitVec out(r.size());
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    out.set(r.size() - 1 - i, r.test(i));
+  }
+  return out;
+}
+
+bool flagsCollision(const CollisionFn& f, std::span<const BitVec> rs) {
+  RFID_REQUIRE(!rs.empty(), "response set must be non-empty");
+  BitVec orOfR = rs.front();
+  BitVec orOfF = f(rs.front());
+  for (std::size_t i = 1; i < rs.size(); ++i) {
+    orOfR |= rs[i];
+    orOfF |= f(rs[i]);
+  }
+  return f(orOfR) != orOfF;
+}
+
+bool isCollisionFunctionExhaustivePairs(const CollisionFn& f, unsigned width) {
+  RFID_REQUIRE(width >= 1 && width <= 12, "exhaustive check needs width <= 12");
+  const std::uint64_t top = std::uint64_t{1} << width;
+  // m = 1: a lone responder must never be flagged.
+  for (std::uint64_t r = 1; r < top; ++r) {
+    const BitVec v = BitVec::fromUint(r, width);
+    const BitVec set[] = {v};
+    if (flagsCollision(f, set)) return false;
+  }
+  // m = 2 with distinct values: must always be flagged.
+  for (std::uint64_t a = 1; a < top; ++a) {
+    for (std::uint64_t b = a + 1; b < top; ++b) {
+      const BitVec set[] = {BitVec::fromUint(a, width),
+                            BitVec::fromUint(b, width)};
+      if (!flagsCollision(f, set)) return false;
+    }
+  }
+  return true;
+}
+
+bool isCollisionFunctionSampled(const CollisionFn& f, unsigned width,
+                                std::size_t maxSetSize, std::size_t trials,
+                                common::Rng& rng) {
+  RFID_REQUIRE(width >= 1 && width <= 64, "width must be in [1, 64]");
+  RFID_REQUIRE(maxSetSize >= 2, "collision sets have at least two members");
+  const std::uint64_t maxValue =
+      width == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+  for (std::size_t t = 0; t < trials; ++t) {
+    const std::size_t m = rng.between(2, maxSetSize);
+    std::vector<BitVec> rs;
+    rs.reserve(m);
+    // Draw values, then force distinctness of at least two members (the
+    // premise of Definition 1).
+    for (std::size_t i = 0; i < m; ++i) {
+      rs.push_back(BitVec::fromUint(rng.between(1, maxValue), width));
+    }
+    bool allEqual = true;
+    for (std::size_t i = 1; i < m; ++i) {
+      if (rs[i] != rs[0]) {
+        allEqual = false;
+        break;
+      }
+    }
+    if (allEqual) {
+      std::uint64_t other = rs[0].toUint();
+      other = other == maxValue ? other - 1 : other + 1;
+      if (other == 0) other = 1;
+      rs.back() = BitVec::fromUint(other, width);
+    }
+    if (!flagsCollision(f, rs)) return false;
+  }
+  return true;
+}
+
+}  // namespace rfid::core

@@ -1,0 +1,53 @@
+// Collision functions (Definition 1 of the paper).
+//
+// Given random integers r₁ … r_m transmitted simultaneously over the OR
+// channel, a width-preserving map f is a *collision function* when, for any
+// set containing at least two distinct values,
+//
+//     m > 1  ⇔  f(r₁ ∨ … ∨ r_m) ≠ f(r₁) ∨ … ∨ f(r_m).
+//
+// Theorem 1 proves f(r) = ~r (bitwise complement) is one: at any bit where
+// two r's differ, the OR is 1 so f(∨r) is 0 there, while the two complements
+// differ so ∨f(r) is 1 there. This module provides the complement, two
+// instructive non-examples, and property checkers used by the test suite
+// to validate Definition 1 both exhaustively (small widths) and by sampling.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "common/bitvec.hpp"
+#include "common/rng.hpp"
+
+namespace rfid::core {
+
+/// A width-preserving map over bit vectors.
+using CollisionFn = std::function<common::BitVec(const common::BitVec&)>;
+
+/// f(r) = ~r — QCD's collision function (Theorem 1).
+common::BitVec complementFn(const common::BitVec& r);
+
+/// f(r) = r — NOT a collision function (f(∨r) = ∨f(r) always).
+common::BitVec identityFn(const common::BitVec& r);
+
+/// f(r) = bit-reversal of r — NOT a collision function: reversal is a bit
+/// permutation and every bit permutation distributes over OR.
+common::BitVec reverseFn(const common::BitVec& r);
+
+/// Evaluates the detection predicate of Definition 1 on a concrete response
+/// set: true when f flags the superposition as a collision, i.e.
+/// f(∨rᵢ) ≠ ∨f(rᵢ). `rs` must be non-empty and equally sized.
+bool flagsCollision(const CollisionFn& f, std::span<const common::BitVec> rs);
+
+/// Exhaustively verifies Definition 1 for all pairs {r_i ≠ r_j} of the given
+/// width and confirms the m = 1 direction for every single value. Width must
+/// be small enough to enumerate (≤ 12).
+bool isCollisionFunctionExhaustivePairs(const CollisionFn& f, unsigned width);
+
+/// Randomized check over `trials` response sets of size 2..maxSetSize with
+/// at least two distinct members. Returns false on the first violation.
+bool isCollisionFunctionSampled(const CollisionFn& f, unsigned width,
+                                std::size_t maxSetSize, std::size_t trials,
+                                common::Rng& rng);
+
+}  // namespace rfid::core

@@ -1,0 +1,180 @@
+#include "core/detection_scheme.hpp"
+
+#include "common/require.hpp"
+
+namespace rfid::core {
+
+using common::BitVec;
+using phy::SlotTiming;
+using phy::SlotType;
+
+BitVec DetectionScheme::idFromContention(const BitVec& /*signal*/) const {
+  common::throwPrecondition("idIsInContention()",
+                            "this scheme has no ID in the contention signal");
+}
+
+// --- CRC-CD ----------------------------------------------------------------
+
+CrcCdScheme::CrcCdScheme(phy::AirInterface air, crc::CrcSpec spec)
+    : DetectionScheme(air), engine_(std::move(spec)) {
+  RFID_REQUIRE(engine_.spec().width == air.crcBits,
+               "CRC width must match the air interface's l_crc");
+}
+
+CrcCdScheme::CrcCdScheme(phy::AirInterface air)
+    : CrcCdScheme(air, crc::crc32()) {}
+
+std::string CrcCdScheme::name() const {
+  return "CRC-CD[" + engine_.spec().name + "]";
+}
+
+std::size_t CrcCdScheme::contentionBits() const {
+  return air().idBits + engine_.spec().width;
+}
+
+BitVec CrcCdScheme::contentionSignal(const tags::Tag& tag,
+                                     common::Rng& /*tagRng*/) const {
+  RFID_REQUIRE(tag.id.size() == air().idBits,
+               "tag ID length must match the air interface");
+  return tag.id.concat(engine_.codeFor(tag.id));
+}
+
+SlotType CrcCdScheme::classify(const std::optional<BitVec>& signal,
+                               std::size_t /*trueResponders*/) const {
+  if (!signal.has_value() || signal->none()) {
+    return SlotType::kIdle;
+  }
+  RFID_REQUIRE(signal->size() == contentionBits(),
+               "signal length does not match the scheme");
+  const BitVec payload = signal->slice(0, air().idBits);
+  const BitVec code = signal->slice(air().idBits, engine_.spec().width);
+  // crc(∨ id_i) == ∨ crc(id_i) ⇒ single (Fig. 1). A coincidence across a
+  // real collision is possible with probability ~2^-l_crc.
+  return engine_.codeFor(payload) == code ? SlotType::kSingle
+                                          : SlotType::kCollided;
+}
+
+BitVec CrcCdScheme::idFromContention(const BitVec& signal) const {
+  RFID_REQUIRE(signal.size() == contentionBits(),
+               "signal length does not match the scheme");
+  return signal.slice(0, air().idBits);
+}
+
+SlotTiming CrcCdScheme::timing() const {
+  const double bits = static_cast<double>(contentionBits());
+  return SlotTiming{bits, bits, bits};
+}
+
+// --- QCD ---------------------------------------------------------------------
+
+QcdScheme::QcdScheme(phy::AirInterface air, unsigned strength,
+                     bool chargeIdPhase)
+    : DetectionScheme(air),
+      preamble_(strength),
+      chargeIdPhase_(chargeIdPhase) {}
+
+std::string QcdScheme::name() const {
+  return "QCD[l=" + std::to_string(preamble_.strength()) + "]";
+}
+
+std::size_t QcdScheme::contentionBits() const { return preamble_.bits(); }
+
+BitVec QcdScheme::contentionSignal(const tags::Tag& /*tag*/,
+                                   common::Rng& tagRng) const {
+  return preamble_.encode(preamble_.draw(tagRng));
+}
+
+SlotType QcdScheme::classify(const std::optional<BitVec>& signal,
+                             std::size_t /*trueResponders*/) const {
+  if (!signal.has_value() || signal->none()) {
+    return SlotType::kIdle;
+  }
+  return preamble_.inspect(*signal) == QcdPreamble::Verdict::kSingle
+             ? SlotType::kSingle
+             : SlotType::kCollided;
+}
+
+SlotTiming QcdScheme::timing() const {
+  const double prm = static_cast<double>(preamble_.bits());
+  const double id =
+      chargeIdPhase_ ? static_cast<double>(air().idBits) : 0.0;
+  return SlotTiming{/*idle=*/prm, /*single=*/prm + id, /*collided=*/prm};
+}
+
+// --- CRC preamble (equal-budget alternative) ----------------------------------
+
+CrcPreambleScheme::CrcPreambleScheme(phy::AirInterface air,
+                                     unsigned randomBits, crc::CrcSpec spec)
+    : DetectionScheme(air),
+      randomBits_(randomBits),
+      maxR_(randomBits >= 64 ? ~std::uint64_t{0}
+                             : ((std::uint64_t{1} << randomBits) - 1)),
+      engine_(std::move(spec)) {
+  RFID_REQUIRE(randomBits >= 1 && randomBits <= 64,
+               "random part must be 1..64 bits");
+}
+
+std::string CrcPreambleScheme::name() const {
+  return "CRC-preamble[r=" + std::to_string(randomBits_) + "+" +
+         engine_.spec().name + "]";
+}
+
+std::size_t CrcPreambleScheme::contentionBits() const {
+  return randomBits_ + engine_.spec().width;
+}
+
+BitVec CrcPreambleScheme::contentionSignal(const tags::Tag& /*tag*/,
+                                           common::Rng& tagRng) const {
+  const BitVec r =
+      BitVec::fromUint(tagRng.between(1, maxR_), randomBits_);
+  return r.concat(engine_.codeFor(r));
+}
+
+SlotType CrcPreambleScheme::classify(const std::optional<BitVec>& signal,
+                                     std::size_t /*trueResponders*/) const {
+  if (!signal.has_value() || signal->none()) {
+    return SlotType::kIdle;
+  }
+  RFID_REQUIRE(signal->size() == contentionBits(),
+               "signal length does not match the scheme");
+  const BitVec r = signal->slice(0, randomBits_);
+  const BitVec code = signal->slice(randomBits_, engine_.spec().width);
+  return engine_.codeFor(r) == code ? SlotType::kSingle : SlotType::kCollided;
+}
+
+SlotTiming CrcPreambleScheme::timing() const {
+  const double prm = static_cast<double>(contentionBits());
+  const double id = static_cast<double>(air().idBits);
+  return SlotTiming{/*idle=*/prm, /*single=*/prm + id, /*collided=*/prm};
+}
+
+// --- Ideal oracle ------------------------------------------------------------
+
+IdealScheme::IdealScheme(phy::AirInterface air) : DetectionScheme(air) {}
+
+std::string IdealScheme::name() const { return "Ideal[oracle]"; }
+
+std::size_t IdealScheme::contentionBits() const { return air().idBits; }
+
+BitVec IdealScheme::contentionSignal(const tags::Tag& tag,
+                                     common::Rng& /*tagRng*/) const {
+  return tag.id;
+}
+
+SlotType IdealScheme::classify(const std::optional<BitVec>& /*signal*/,
+                               std::size_t trueResponders) const {
+  if (trueResponders == 0) return SlotType::kIdle;
+  return trueResponders == 1 ? SlotType::kSingle : SlotType::kCollided;
+}
+
+BitVec IdealScheme::idFromContention(const BitVec& signal) const {
+  return signal;
+}
+
+SlotTiming IdealScheme::timing() const {
+  return SlotTiming{/*idle=*/0.0,
+                    /*single=*/static_cast<double>(air().idBits),
+                    /*collided=*/0.0};
+}
+
+}  // namespace rfid::core

@@ -1,0 +1,47 @@
+#include "core/qcd.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace rfid::core {
+
+using common::BitVec;
+
+QcdPreamble::QcdPreamble(unsigned strength)
+    : strength_(strength),
+      maxR_(strength == 64 ? ~std::uint64_t{0}
+                           : ((std::uint64_t{1} << strength) - 1)) {
+  RFID_REQUIRE(strength >= 1 && strength <= 64,
+               "QCD strength must be in [1, 64]");
+}
+
+std::uint64_t QcdPreamble::draw(common::Rng& rng) const {
+  return rng.between(1, maxR_);
+}
+
+BitVec QcdPreamble::encode(std::uint64_t r) const {
+  RFID_REQUIRE(r >= 1 && r <= maxR_, "r must be a positive l-bit integer");
+  const BitVec rv = BitVec::fromUint(r, strength_);
+  return rv.concat(rv.complemented());
+}
+
+QcdPreamble::Verdict QcdPreamble::inspect(const BitVec& superposed) const {
+  RFID_REQUIRE(superposed.size() == bits(),
+               "superposed preamble has the wrong length");
+  const BitVec r = superposed.slice(0, strength_);
+  const BitVec c = superposed.slice(strength_, strength_);
+  return c == r.complemented() ? Verdict::kSingle : Verdict::kCollided;
+}
+
+double QcdPreamble::evasionProbability(unsigned strength, std::size_t m) {
+  RFID_REQUIRE(strength >= 1 && strength <= 64,
+               "QCD strength must be in [1, 64]");
+  if (m <= 1) return 0.0;
+  const double values =
+      strength == 64 ? std::ldexp(1.0, 64) - 1.0
+                     : static_cast<double>((std::uint64_t{1} << strength) - 1);
+  return std::pow(values, -static_cast<double>(m - 1));
+}
+
+}  // namespace rfid::core

@@ -1,0 +1,56 @@
+// QCD — Quick Collision Detection (§IV of the paper).
+//
+// Each tag that responds in a slot first transmits a *collision preamble*:
+// an l-bit random positive integer r followed by the l-bit checking code
+// f(r) = ~r. The reader inspects the superposed preamble s = r′ ⊕ c′ where
+// r′ = ∨rᵢ and c′ = ∨f(rᵢ) (Algorithm 1):
+//
+//     s carries no energy        → idle slot
+//     c′ == ~r′                  → single slot (then the tag streams its ID)
+//     otherwise                  → collided slot
+//
+// Correctness: Theorem 1 guarantees exact classification whenever at least
+// two colliding tags drew different r's. The only evasion is all m tags
+// drawing the same r, with probability (2^l − 1)^−(m−1); l is called the
+// *strength* of QCD and the paper recommends l = 8.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bitvec.hpp"
+#include "common/rng.hpp"
+
+namespace rfid::core {
+
+class QcdPreamble {
+ public:
+  /// `strength` is the paper's l, in [1, 64].
+  explicit QcdPreamble(unsigned strength);
+
+  unsigned strength() const noexcept { return strength_; }
+  /// Length of the preamble on air: 2·l bits.
+  std::size_t bits() const noexcept { return 2ull * strength_; }
+
+  /// Draws the random positive integer r ∈ [1, 2^l − 1].
+  std::uint64_t draw(common::Rng& rng) const;
+
+  /// Encodes r ⊕ f(r) for transmission (r occupies the first l bit-times).
+  common::BitVec encode(std::uint64_t r) const;
+
+  enum class Verdict : std::uint8_t { kSingle, kCollided };
+
+  /// Algorithm 1 applied to a non-zero superposed preamble. The caller
+  /// handles the idle case (no energy / all-zero signal) — a transmitted
+  /// preamble is never all-zero because it always contains r and ~r.
+  Verdict inspect(const common::BitVec& superposed) const;
+
+  /// Probability that m concurrent responders evade detection (all drew the
+  /// same r): (2^l − 1)^−(m−1); 0 for m ≤ 1.
+  static double evasionProbability(unsigned strength, std::size_t m);
+
+ private:
+  unsigned strength_;
+  std::uint64_t maxR_;  ///< 2^l − 1
+};
+
+}  // namespace rfid::core

@@ -1,0 +1,36 @@
+#include "crc/cost_model.hpp"
+
+#include "common/bitvec.hpp"
+#include "common/require.hpp"
+
+namespace rfid::crc {
+
+DetectionCost crcCdCost(const CrcEngine& engine, std::size_t idBits) {
+  RFID_REQUIRE(idBits > 0, "ID length must be positive");
+  const common::BitVec worstCase(idBits, true);
+  SerialOpCount ops;
+  (void)engine.computeBits(worstCase, &ops);
+
+  DetectionCost cost;
+  cost.scheme = "CRC-CD (" + engine.spec().name + ")";
+  cost.complexity = "O(l)";
+  cost.instructions = ops.total();
+  cost.memoryBits = engine.tableBits();
+  cost.airtimeBitsNonSingle = idBits + engine.spec().width;
+  cost.airtimeBitsSingle = idBits + engine.spec().width;
+  return cost;
+}
+
+DetectionCost qcdCost(unsigned strength, std::size_t idBits) {
+  RFID_REQUIRE(strength >= 1 && strength <= 64, "strength must be in [1, 64]");
+  DetectionCost cost;
+  cost.scheme = "QCD (l = " + std::to_string(strength) + ")";
+  cost.complexity = "O(1)";
+  cost.instructions = 1;  // a single bitwise complement of the drawn r
+  cost.memoryBits = 2ull * strength;  // the r ⊕ f(r) preamble register
+  cost.airtimeBitsNonSingle = 2ull * strength;
+  cost.airtimeBitsSingle = 2ull * strength + idBits;
+  return cost;
+}
+
+}  // namespace rfid::crc

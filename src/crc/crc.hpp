@@ -1,0 +1,112 @@
+// Cyclic-redundancy-check engine.
+//
+// The paper's baseline collision detector (CRC-CD) has every tag transmit
+// `id ⊕ crc(id)`; the reader recomputes the CRC over the superposed signal.
+// We therefore need a CRC that operates on arbitrary bit strings (BitVec) in
+// transmission order, plus the conventional byte-oriented form so the
+// implementation can be validated against published check values.
+//
+// One engine supports any width in [1, 64], normal or reflected I/O, and
+// three implementation strategies:
+//   * bit-serial LFSR      — the form a tag's IC would realise in hardware;
+//                            instruction-counting variant backs Table IV;
+//   * byte-wise table      — the classic 256-entry lookup (the "1 KB of
+//                            memory" the paper charges CRC-CD with);
+//   * both cross-validated in tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/bitvec.hpp"
+
+namespace rfid::crc {
+
+/// A CRC algorithm description in Rocksoft/"catalogue" notation.
+struct CrcSpec {
+  std::string name;
+  unsigned width = 0;        ///< register width in bits, 1..64
+  std::uint64_t poly = 0;    ///< generator polynomial, normal representation
+  std::uint64_t init = 0;    ///< initial register value (unreflected)
+  bool reflectIn = false;    ///< feed input bytes least-significant bit first
+  bool reflectOut = false;   ///< bit-reverse the register before xorOut
+  std::uint64_t xorOut = 0;  ///< final xor mask
+  std::uint64_t check = 0;   ///< expected CRC of ASCII "123456789"
+};
+
+/// Standard algorithms used by RFID air protocols (plus CRC-32 variants for
+/// cross-validation). All entries carry their catalogue check values.
+const CrcSpec& crc5Epc();          ///< EPC Gen2 CRC-5 (query commands)
+const CrcSpec& crc8Smbus();        ///< CRC-8 (SMBus poly 0x07)
+const CrcSpec& crc16CcittFalse();  ///< CRC-16/CCITT-FALSE
+const CrcSpec& crc16Genibus();     ///< EPC Gen2 / ISO 18000-6 CRC-16
+const CrcSpec& crc32();            ///< reflected CRC-32 (IEEE 802.3)
+const CrcSpec& crc32Bzip2();       ///< non-reflected CRC-32
+
+/// Operation census of one bit-serial CRC evaluation; the per-bit loop of a
+/// serial LFSR costs a shift, an input xor, a branch and a conditional
+/// polynomial xor — this is what makes CRC "more than 100 instructions" for
+/// a 96-bit frame on a tag (§V-C, Table IV).
+struct SerialOpCount {
+  std::uint64_t shifts = 0;
+  std::uint64_t xors = 0;
+  std::uint64_t branches = 0;
+  std::uint64_t total() const noexcept { return shifts + xors + branches; }
+};
+
+class CrcEngine {
+ public:
+  explicit CrcEngine(CrcSpec spec);
+
+  const CrcSpec& spec() const noexcept { return spec_; }
+
+  /// CRC over a byte message (conventional form; honours reflectIn).
+  std::uint64_t computeBytes(std::span<const std::uint8_t> data) const;
+
+  /// Same, via the 256-entry lookup table (width >= 8 only).
+  std::uint64_t computeBytesTable(std::span<const std::uint8_t> data) const;
+
+  /// CRC over an arbitrary bit string fed in transmission order (index 0
+  /// first). This is the form used on the air interface: the tag clocks its
+  /// ID through the LFSR bit by bit. If `ops` is non-null, the serial
+  /// operation census is accumulated into it.
+  std::uint64_t computeBits(const common::BitVec& bits,
+                            SerialOpCount* ops = nullptr) const;
+
+  /// The CRC of `payload` as a width-bit BitVec, ready to be concatenated
+  /// after the payload for transmission (bit i of the register at index i).
+  common::BitVec codeFor(const common::BitVec& payload) const;
+
+  /// Size of the byte-wise lookup table in bits (the tag-memory cost the
+  /// paper cites: 256 entries × width).
+  std::uint64_t tableBits() const noexcept { return 256ull * spec_.width; }
+
+ private:
+  std::uint64_t mask() const noexcept {
+    return spec_.width == 64 ? ~std::uint64_t{0}
+                             : ((std::uint64_t{1} << spec_.width) - 1);
+  }
+  std::uint64_t topBit() const noexcept {
+    return std::uint64_t{1} << (spec_.width - 1);
+  }
+  /// Register value the serial core starts from (init, bit-reversed when the
+  /// spec is reflected, because the core always shifts left).
+  std::uint64_t coreInit() const noexcept;
+  std::uint64_t finalize(std::uint64_t reg) const noexcept;
+
+  CrcSpec spec_;
+  std::vector<std::uint64_t> table_;  ///< 256 entries when width >= 8
+};
+
+/// Bit-reverses the low `width` bits of v.
+std::uint64_t reverseBits(std::uint64_t v, unsigned width);
+
+/// Packs a byte message into a BitVec in the order the serial engine (and
+/// the air interface) would see it: per byte, least-significant bit first
+/// when `lsbFirst`, most-significant bit first otherwise.
+common::BitVec bytesToBits(std::span<const std::uint8_t> data, bool lsbFirst);
+
+}  // namespace rfid::crc

@@ -1,0 +1,66 @@
+// EPC Class-1 Generation-2 air-interface model (command-level).
+//
+// The paper's Q-Adaptive protocol (§II) is Gen2's slot-count algorithm;
+// this module models the surrounding command exchange so the collision-
+// detection question can be asked where Gen2 actually faces it: the RN16
+// contention reply. A Gen2 tag answers a Query with a *structureless*
+// 16-bit random number — when two tags collide, the superposed RN16 is
+// still just 16 bits that the reader may mistake for a valid reply, ACK,
+// and then waste a full EPC timeout on. Putting QCD's r ⊕ ~r structure in
+// the same 16 bits (strength 8) lets the reader skip the doomed ACK — the
+// paper's idea expressed in Gen2 vocabulary.
+//
+// Command lengths follow the Gen2 spec's order of magnitude (Query 22
+// bits, QueryRep 4, QueryAdjust 9, ACK 18, NAK 8); the reply is PC + EPC +
+// CRC-16 ≈ 96 bits for the paper's 64-bit EPC. Turnaround/settling gaps
+// (T1-T3) are folded into one configurable gap cost. All costs are in
+// bit-times at τ µs/bit, consistent with the rest of the library.
+#pragma once
+
+#include <cstdint>
+
+namespace rfid::gen2 {
+
+struct Gen2Timing {
+  // Reader → tag commands.
+  double queryBits = 22.0;
+  double queryRepBits = 4.0;
+  double queryAdjustBits = 9.0;
+  double ackBits = 18.0;
+  double nakBits = 8.0;
+  // Tag → reader replies.
+  double rn16Bits = 16.0;      ///< contention reply (plain RN16 or preamble)
+  double epcReplyBits = 96.0;  ///< PC + 64-bit EPC + CRC-16
+  /// Link turnaround / no-reply sensing, charged whenever the reader waits
+  /// on a reply that never comes (idle slots, failed ACKs).
+  double gapBits = 12.0;
+  double tauMicros = 1.0;
+};
+
+/// How tags fill the 16-bit contention reply.
+enum class Rn16Mode : std::uint8_t {
+  /// Baseline Gen2: a uniformly random 16-bit number with no structure.
+  /// The reader cannot tell a superposition from a clean reply, so it
+  /// ACKs whatever it demodulated and discovers collisions only through
+  /// the wasted-ACK timeout (or the EPC CRC).
+  kPlain,
+  /// QCD in the same budget: r ⊕ ~r with l = 8. Theorem 1 classifies the
+  /// slot before any ACK is spent; the drawn r doubles as the handle the
+  /// ACK echoes.
+  kQcdPreamble,
+};
+
+/// Outcome census of one inventory operation.
+struct InventoryResult {
+  std::uint64_t slots = 0;
+  std::uint64_t idleSlots = 0;
+  std::uint64_t successReads = 0;        ///< EPC received and CRC-validated
+  std::uint64_t detectedCollisions = 0;  ///< skipped before ACK (QCD mode)
+  std::uint64_t wastedAcks = 0;          ///< ACK sent, no tag answered
+  std::uint64_t epcCollisions = 0;       ///< ACK matched >1 tag; CRC caught it
+  std::uint64_t queryRounds = 0;
+  double airtimeMicros = 0.0;
+  bool completed = false;  ///< all tags inventoried within the slot budget
+};
+
+}  // namespace rfid::gen2

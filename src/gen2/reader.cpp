@@ -1,0 +1,192 @@
+#include "gen2/reader.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/require.hpp"
+
+namespace rfid::gen2 {
+
+namespace {
+
+/// Arbitrate-state tags that collided (or saw a foreign ACK) go silent
+/// until the next Query/QueryAdjust.
+constexpr std::uint32_t kWaitNextRound = 0xFFFFFFFFu;
+
+std::uint16_t drawContentionWord(Rn16Mode mode, common::Rng& rng) {
+  if (mode == Rn16Mode::kPlain) {
+    // Non-zero so a reply always carries energy on the OR channel.
+    return static_cast<std::uint16_t>(rng.between(1, 0xFFFF));
+  }
+  // QCD at strength 8 in the same 16 bits: r in the low byte, ~r above.
+  const auto r = static_cast<std::uint16_t>(rng.between(1, 0xFF));
+  return static_cast<std::uint16_t>(r | ((~r & 0xFFu) << 8));
+}
+
+bool qcdReadsSingle(std::uint16_t superposed) {
+  const std::uint16_t low = superposed & 0xFFu;
+  const std::uint16_t high = (superposed >> 8) & 0xFFu;
+  return high == (~low & 0xFFu);
+}
+
+}  // namespace
+
+std::vector<Gen2Tag> makeGen2Population(std::size_t count, common::Rng& rng) {
+  std::vector<Gen2Tag> tags;
+  tags.reserve(count);
+  std::unordered_set<std::uint64_t> seen;
+  while (tags.size() < count) {
+    const std::uint64_t epc = rng();
+    if (epc == 0 || !seen.insert(epc).second) continue;
+    Gen2Tag t;
+    t.epc = epc;
+    tags.push_back(t);
+  }
+  return tags;
+}
+
+Gen2Reader::Gen2Reader(Gen2Timing timing, Rn16Mode mode, double initialQ,
+                       double c)
+    : timing_(timing), mode_(mode), initialQ_(initialQ), c_(c) {
+  RFID_REQUIRE(initialQ >= 0.0 && initialQ <= 15.0,
+               "Q must start within [0, 15]");
+  RFID_REQUIRE(c > 0.0 && c <= 1.0, "C must lie in (0, 1]");
+}
+
+InventoryResult Gen2Reader::inventory(std::span<Gen2Tag> tags,
+                                      common::Rng& rng,
+                                      std::uint64_t maxSlots) const {
+  InventoryResult result;
+  double bits = 0.0;
+  double qFp = initialQ_;
+  bool firstRound = true;
+  std::vector<std::size_t> responders;
+
+  for (;;) {
+    // Query / QueryAdjust opens a round: every non-inventoried tag draws a
+    // fresh slot counter in [0, 2^Q).
+    const auto q = static_cast<unsigned>(std::lround(qFp));
+    const std::uint64_t frame = std::uint64_t{1} << q;
+    bits += firstRound ? timing_.queryBits : timing_.queryAdjustBits;
+    firstRound = false;
+    ++result.queryRounds;
+    bool anyResponse = false;
+    for (Gen2Tag& t : tags) {
+      if (t.state != TagState::kInventoried) {
+        t.state = TagState::kArbitrate;
+        t.slot = static_cast<std::uint32_t>(rng.below(frame));
+      }
+    }
+
+    std::uint64_t slotsLeft = frame;
+    bool qChanged = false;
+    bool firstSlotOfRound = true;
+    while (slotsLeft > 0 && !qChanged) {
+      if (result.slots >= maxSlots) {
+        result.airtimeMicros = bits * timing_.tauMicros;
+        return result;
+      }
+      ++result.slots;
+      --slotsLeft;
+      if (!firstSlotOfRound) {
+        bits += timing_.queryRepBits;
+      }
+      firstSlotOfRound = false;
+
+      responders.clear();
+      for (std::size_t i = 0; i < tags.size(); ++i) {
+        if (tags[i].state == TagState::kArbitrate && tags[i].slot == 0) {
+          responders.push_back(i);
+        }
+      }
+
+      if (responders.empty()) {
+        ++result.idleSlots;
+        bits += timing_.gapBits;  // reply window expires empty
+        qFp = std::max(0.0, qFp - c_);
+      } else {
+        anyResponse = true;
+        bits += timing_.rn16Bits;
+        std::uint16_t superposed = 0;
+        for (const std::size_t i : responders) {
+          tags[i].rn16 = drawContentionWord(mode_, rng);
+          tags[i].state = TagState::kReply;
+          superposed |= tags[i].rn16;
+        }
+
+        bool ackPath = true;
+        if (mode_ == Rn16Mode::kQcdPreamble && !qcdReadsSingle(superposed)) {
+          // Theorem 1 flags the collision before any ACK is spent.
+          ++result.detectedCollisions;
+          qFp = std::min(15.0, qFp + c_);
+          for (const std::size_t i : responders) {
+            tags[i].state = TagState::kArbitrate;
+            tags[i].slot = kWaitNextRound;
+          }
+          ackPath = false;
+        }
+
+        if (ackPath) {
+          bits += timing_.ackBits;
+          std::vector<std::size_t> acked;
+          for (const std::size_t i : responders) {
+            if (tags[i].rn16 == superposed) {
+              acked.push_back(i);
+            } else {
+              // Foreign handle in the ACK: back to arbitrate, silent until
+              // the next Query round.
+              tags[i].state = TagState::kArbitrate;
+              tags[i].slot = kWaitNextRound;
+            }
+          }
+          if (acked.empty()) {
+            // The demodulated "RN16" was a superposition no tag owns: the
+            // ACK times out. This is how plain Gen2 pays for collisions.
+            ++result.wastedAcks;
+            bits += timing_.gapBits;
+            qFp = std::min(15.0, qFp + c_);
+          } else if (acked.size() == 1) {
+            bits += timing_.epcReplyBits;
+            tags[acked.front()].state = TagState::kInventoried;
+            ++result.successReads;
+          } else {
+            // Several tags hold the acked handle (identical draws): their
+            // EPC replies superpose and the EPC CRC-16 rejects the mess.
+            bits += timing_.epcReplyBits + timing_.nakBits;
+            ++result.epcCollisions;
+            qFp = std::min(15.0, qFp + c_);
+            for (const std::size_t i : acked) {
+              tags[i].state = TagState::kArbitrate;
+              tags[i].slot = kWaitNextRound;
+            }
+          }
+        }
+      }
+
+      // QueryRep semantics: surviving arbitrate counters tick down.
+      for (Gen2Tag& t : tags) {
+        if (t.state == TagState::kArbitrate && t.slot != kWaitNextRound &&
+            t.slot > 0) {
+          --t.slot;
+        }
+      }
+      qChanged = static_cast<unsigned>(std::lround(qFp)) != q;
+    }
+
+    // Only a round that ran its full 2^Q slots (no QueryAdjust cut it
+    // short) and stayed silent proves the field is drained — an early-
+    // adjusted quiet round just means Q was oversized for the backlog.
+    const bool roundRanToCompletion = slotsLeft == 0 && !qChanged;
+    if (!anyResponse && roundRanToCompletion) {
+      result.completed =
+          std::all_of(tags.begin(), tags.end(), [](const Gen2Tag& t) {
+            return t.state == TagState::kInventoried;
+          });
+      result.airtimeMicros = bits * timing_.tauMicros;
+      return result;
+    }
+  }
+}
+
+}  // namespace rfid::gen2

@@ -1,0 +1,52 @@
+// Gen2 inventory: tag state machine + reader round driver.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "common/rng.hpp"
+#include "gen2/commands.hpp"
+
+namespace rfid::gen2 {
+
+enum class TagState : std::uint8_t {
+  kReady,        ///< not yet participating in this inventory round
+  kArbitrate,    ///< holds a slot counter, silent until it reaches 0
+  kReply,        ///< backscattered its RN16, waiting for the ACK
+  kInventoried,  ///< EPC delivered; silent for the rest of the inventory
+};
+
+struct Gen2Tag {
+  std::uint64_t epc = 0;   ///< 64-bit EPC (unique, non-zero)
+  std::uint32_t slot = 0;  ///< arbitrate slot counter
+  std::uint16_t rn16 = 0;  ///< handle sent in the last contention reply
+  TagState state = TagState::kReady;
+};
+
+/// `count` tags with unique non-zero EPCs.
+std::vector<Gen2Tag> makeGen2Population(std::size_t count, common::Rng& rng);
+
+class Gen2Reader {
+ public:
+  Gen2Reader(Gen2Timing timing, Rn16Mode mode, double initialQ = 4.0,
+             double c = 0.3);
+
+  /// Runs one full inventory: query rounds until a round passes with no
+  /// reply at all (the reader cannot observe ground truth). Returns the
+  /// outcome census; tag states are updated in place.
+  InventoryResult inventory(std::span<Gen2Tag> tags, common::Rng& rng,
+                            std::uint64_t maxSlots = 1'000'000) const;
+
+  const Gen2Timing& timing() const noexcept { return timing_; }
+  Rn16Mode mode() const noexcept { return mode_; }
+
+ private:
+  Gen2Timing timing_;
+  Rn16Mode mode_;
+  double initialQ_;
+  double c_;
+};
+
+}  // namespace rfid::gen2

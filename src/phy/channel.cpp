@@ -1,0 +1,63 @@
+#include "phy/channel.hpp"
+
+#include "common/require.hpp"
+
+namespace rfid::phy {
+
+using common::BitVec;
+
+namespace {
+
+BitVec orAll(std::span<const BitVec> transmissions) {
+  BitVec sum = transmissions.front();
+  for (std::size_t i = 1; i < transmissions.size(); ++i) {
+    RFID_REQUIRE(transmissions[i].size() == sum.size(),
+                 "superposed signals must be equally long");
+    sum |= transmissions[i];
+  }
+  return sum;
+}
+
+}  // namespace
+
+Reception OrChannel::superpose(std::span<const BitVec> transmissions,
+                               common::Rng& /*rng*/) {
+  if (transmissions.empty()) {
+    return Reception{};
+  }
+  Reception r;
+  r.signal = orAll(transmissions);
+  if (transmissions.size() == 1) {
+    r.capturedIndex = 0;
+  }
+  return r;
+}
+
+CaptureChannel::CaptureChannel(double captureProbability)
+    : p_(captureProbability) {
+  RFID_REQUIRE(p_ >= 0.0 && p_ <= 1.0,
+               "capture probability must be in [0, 1]");
+}
+
+Reception CaptureChannel::superpose(std::span<const BitVec> transmissions,
+                                    common::Rng& rng) {
+  if (transmissions.empty()) {
+    return Reception{};
+  }
+  Reception r;
+  if (transmissions.size() == 1) {
+    r.signal = transmissions.front();
+    r.capturedIndex = 0;
+    return r;
+  }
+  if (rng.chance(p_)) {
+    const std::size_t winner = rng.below(transmissions.size());
+    r.signal = transmissions[winner];
+    r.capturedIndex = winner;
+    return r;
+  }
+  r.signal = orAll(transmissions);
+  return r;
+}
+
+}  // namespace rfid::phy

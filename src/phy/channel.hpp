@@ -1,0 +1,63 @@
+// Backscatter channel models.
+//
+// The paper abstracts concurrent tag replies as the bitwise Boolean sum of
+// the individual signals (§IV-A): with on-off keying, a 1 from any tag
+// produces detectable energy in that bit position, so the reader demodulates
+// s = s₁ ∨ s₂ ∨ … ∨ s_m. OrChannel implements exactly that. CaptureChannel
+// adds the classical capture effect — with some probability one tag's signal
+// dominates a collision and is demodulated cleanly — as a sensitivity
+// extension for the paper's pure-OR assumption.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+
+#include "common/bitvec.hpp"
+#include "common/rng.hpp"
+
+namespace rfid::phy {
+
+/// What the reader's front end delivers for one slot.
+struct Reception {
+  /// Demodulated bits; nullopt when no tag transmitted (no RF energy).
+  std::optional<common::BitVec> signal;
+  /// Index (into the transmission span) of the tag whose signal was
+  /// received *cleanly* — set when exactly one tag transmitted, or when the
+  /// capture effect isolated one transmission. nullopt for a true mixture.
+  std::optional<std::size_t> capturedIndex;
+};
+
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  /// Superposes the time-aligned transmissions of one slot. All signals must
+  /// have equal length (§IV-A: |s| = |s₁| = … = |s_m|).
+  virtual Reception superpose(std::span<const common::BitVec> transmissions,
+                              common::Rng& rng) = 0;
+};
+
+/// The paper's model: pure bitwise Boolean sum, no capture.
+class OrChannel final : public Channel {
+ public:
+  Reception superpose(std::span<const common::BitVec> transmissions,
+                      common::Rng& rng) override;
+};
+
+/// OR channel with capture: when m ≥ 2 tags collide, with probability
+/// `captureProbability` one of them (uniformly chosen) is received cleanly.
+class CaptureChannel final : public Channel {
+ public:
+  explicit CaptureChannel(double captureProbability);
+
+  Reception superpose(std::span<const common::BitVec> transmissions,
+                      common::Rng& rng) override;
+
+  double captureProbability() const noexcept { return p_; }
+
+ private:
+  double p_;
+};
+
+}  // namespace rfid::phy

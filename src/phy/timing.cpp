@@ -1,0 +1,6 @@
+#include "phy/timing.hpp"
+
+// SlotTiming is header-only; this translation unit exists so the phy library
+// always has at least one object file and to pin the vtable-free types'
+// ODR-used inline functions somewhere debuggable.
+namespace rfid::phy {}

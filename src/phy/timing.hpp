@@ -1,0 +1,47 @@
+// Slot classification and per-slot airtime accounting.
+//
+// QCD's second lever (besides the cheap checksum) is the variable-length
+// slot: idle and collided slots carry only the 2·l-bit collision preamble,
+// while CRC-CD spends l_id + l_crc bit-times on every slot regardless of its
+// type (§IV-A, Fig. 3). SlotTiming captures a scheme's cost per slot type.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rfid::phy {
+
+enum class SlotType : std::uint8_t { kIdle = 0, kSingle = 1, kCollided = 2 };
+
+inline const char* toString(SlotType t) {
+  switch (t) {
+    case SlotType::kIdle:
+      return "idle";
+    case SlotType::kSingle:
+      return "single";
+    case SlotType::kCollided:
+      return "collided";
+  }
+  return "?";
+}
+
+/// Airtime of each slot type in bit-times (multiply by τ for microseconds).
+struct SlotTiming {
+  double idleBits = 0.0;
+  double singleBits = 0.0;
+  double collidedBits = 0.0;
+
+  double bitsFor(SlotType t) const noexcept {
+    switch (t) {
+      case SlotType::kIdle:
+        return idleBits;
+      case SlotType::kSingle:
+        return singleBits;
+      case SlotType::kCollided:
+        return collidedBits;
+    }
+    return 0.0;
+  }
+};
+
+}  // namespace rfid::phy

@@ -1,0 +1,101 @@
+#include "privacy/backward_channel.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace rfid::privacy {
+
+using common::BitVec;
+
+BitVec mixWithPseudoId(const BitVec& id, const BitVec& pseudoId) {
+  RFID_REQUIRE(id.size() == pseudoId.size(),
+               "pseudo-ID must match the ID length");
+  return id | pseudoId;
+}
+
+PseudoIdRecovery::PseudoIdRecovery(std::size_t idBits)
+    : known_(idBits), value_(idBits) {}
+
+void PseudoIdRecovery::absorb(const BitVec& mixed, const BitVec& pseudoId) {
+  RFID_REQUIRE(mixed.size() == known_.size() &&
+                   pseudoId.size() == known_.size(),
+               "round length must match the ID length");
+  for (std::size_t i = 0; i < known_.size(); ++i) {
+    if (pseudoId.test(i) || known_.test(i)) {
+      continue;  // masked this round, or already learned
+    }
+    // p_i = 0 ⇒ the mixed bit is the ID bit verbatim.
+    known_.set(i, true);
+    value_.set(i, mixed.test(i));
+    ++knownCount_;
+  }
+}
+
+double binaryEntropy(double p) {
+  RFID_REQUIRE(p >= 0.0 && p <= 1.0, "probability must be in [0, 1]");
+  if (p <= 0.0 || p >= 1.0) return 0.0;
+  return -p * std::log2(p) - (1.0 - p) * std::log2(1.0 - p);
+}
+
+double pseudoIdResidualEntropy(std::size_t idBits, std::size_t rounds) {
+  // Per uniformly random bit b with k independent uniform pseudo bits:
+  //   * some observation is 0  ⇔  b = 0 and some p = 0  → entropy 0;
+  //   * all observations are 1 → posterior P(b=1) = 1 / (1 + 2^-k).
+  const double twoToMinusK = std::pow(0.5, static_cast<double>(rounds));
+  const double pAllOnes = 0.5 + 0.5 * twoToMinusK;
+  const double posterior = 1.0 / (1.0 + twoToMinusK);
+  return static_cast<double>(idBits) * pAllOnes * binaryEntropy(posterior);
+}
+
+double pseudoIdCertainLeakFraction(std::size_t rounds) {
+  // The same-bit problem: an eavesdropper pins a bit exactly when the bit
+  // is 0 and some round exposed it (p = 0 in that round).
+  const double twoToMinusK = std::pow(0.5, static_cast<double>(rounds));
+  return 0.5 * (1.0 - twoToMinusK);
+}
+
+BitVec rbeEncode(const BitVec& id, std::size_t chipsPerBit, common::Rng& rng) {
+  RFID_REQUIRE(chipsPerBit >= 2, "RBE needs at least two chips per bit");
+  BitVec out(id.size() * chipsPerBit);
+  for (std::size_t i = 0; i < id.size(); ++i) {
+    bool parity = false;
+    // Draw q−1 chips freely; the last chip fixes the parity to the ID bit.
+    for (std::size_t c = 0; c + 1 < chipsPerBit; ++c) {
+      const bool chip = rng.chance(0.5);
+      out.set(i * chipsPerBit + c, chip);
+      parity ^= chip;
+    }
+    out.set(i * chipsPerBit + chipsPerBit - 1, parity != id.test(i));
+  }
+  return out;
+}
+
+BitVec rbeDecode(const BitVec& encoded, std::size_t chipsPerBit) {
+  RFID_REQUIRE(chipsPerBit >= 2, "RBE needs at least two chips per bit");
+  RFID_REQUIRE(encoded.size() % chipsPerBit == 0,
+               "encoded length must be a multiple of chipsPerBit");
+  const std::size_t idBits = encoded.size() / chipsPerBit;
+  BitVec id(idBits);
+  for (std::size_t i = 0; i < idBits; ++i) {
+    bool parity = false;
+    for (std::size_t c = 0; c < chipsPerBit; ++c) {
+      parity ^= encoded.test(i * chipsPerBit + c);
+    }
+    id.set(i, parity);
+  }
+  return id;
+}
+
+double rbeResidualEntropyPerBit(std::size_t chipsPerBit, double captureProb) {
+  RFID_REQUIRE(chipsPerBit >= 2, "RBE needs at least two chips per bit");
+  RFID_REQUIRE(captureProb >= 0.0 && captureProb <= 1.0,
+               "capture probability must be in [0, 1]");
+  // The bit is exposed only when every chip of its codeword was captured;
+  // any missing chip leaves the parity uniform.
+  const double allCaptured =
+      std::pow(captureProb, static_cast<double>(chipsPerBit));
+  return 1.0 - allCaptured;
+}
+
+}  // namespace rfid::privacy

@@ -1,0 +1,87 @@
+// Backward-channel protection over the Boolean-sum model (§II, "Bitwise
+// boolean sum model": Choi & Roh's pseudo-ID mixing and Lim et al.'s
+// randomized bit encoding, with Lim's entropy-based privacy metric).
+//
+// The threat model: the reader→tag (forward) channel is strong and assumed
+// overheard; the tag→reader (backward) channel is weak but a nearby
+// eavesdropper may still capture it. Both schemes hide the tag's real ID in
+// what travels on the backward channel:
+//
+//   * Pseudo-ID mixing — the reader secretly sends a random pseudo-ID p;
+//     the tag replies id ∨ p. The reader, knowing p, learns id at every
+//     position where p is 0; repeated rounds with fresh p reveal the whole
+//     ID. The eavesdropper sees only id ∨ p: a 0 proves id's bit is 0 (the
+//     "same-bit problem"), a 1 leaves the bit uncertain.
+//
+//   * Randomized bit encoding (RBE) — each ID bit is expanded into a q-bit
+//     random codeword whose parity equals the bit. Every transmission of
+//     the same ID looks fresh; an eavesdropper who misses even one chip of
+//     a codeword learns nothing about that bit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bitvec.hpp"
+#include "common/rng.hpp"
+
+namespace rfid::privacy {
+
+// --- pseudo-ID mixing --------------------------------------------------------
+
+/// One protected backward-channel reply: mixed = id ∨ p.
+common::BitVec mixWithPseudoId(const common::BitVec& id,
+                               const common::BitVec& pseudoId);
+
+/// The reader's incremental knowledge of an ID across mixing rounds.
+class PseudoIdRecovery {
+ public:
+  explicit PseudoIdRecovery(std::size_t idBits);
+
+  /// Absorbs one round (the reader knows the pseudo-ID it sent).
+  void absorb(const common::BitVec& mixed, const common::BitVec& pseudoId);
+
+  /// Bits whose value the reader has pinned down.
+  std::size_t knownBits() const noexcept { return knownCount_; }
+  bool complete() const noexcept { return knownCount_ == known_.size(); }
+  /// The recovered ID; only meaningful once complete(). Unknown bits are 0.
+  const common::BitVec& recovered() const noexcept { return value_; }
+
+ private:
+  common::BitVec known_;  ///< 1 where the bit value has been learned
+  common::BitVec value_;
+  std::size_t knownCount_ = 0;
+};
+
+/// Expected residual eavesdropper entropy (bits of uncertainty about a
+/// uniformly random l-bit ID) after observing `rounds` mixing rounds with
+/// independent uniform pseudo-IDs. Lim et al.'s metric specialised to this
+/// scheme:
+///   per bit, P(still uncertain) depends on id-bit and the pseudo draws;
+///   the closed form is  l · E[h(posterior)]  (see backward_channel.cpp).
+double pseudoIdResidualEntropy(std::size_t idBits, std::size_t rounds);
+
+/// Fraction of ID bits an eavesdropper pins down *for certain* after
+/// `rounds` rounds (the same-bit problem: every observed 0 is definite).
+double pseudoIdCertainLeakFraction(std::size_t rounds);
+
+// --- randomized bit encoding ---------------------------------------------------
+
+/// Encodes each ID bit as a q-bit random codeword with XOR-parity equal to
+/// the bit (q >= 2). Output length is id.size() · q.
+common::BitVec rbeEncode(const common::BitVec& id, std::size_t chipsPerBit,
+                         common::Rng& rng);
+
+/// Exact decode (the receiver sees all chips): parity per q-chip group.
+common::BitVec rbeDecode(const common::BitVec& encoded,
+                         std::size_t chipsPerBit);
+
+/// Residual entropy about one ID bit for an eavesdropper who captured each
+/// chip of its codeword independently with probability `captureProb`:
+/// missing any chip leaves the parity — hence the bit — uniform.
+double rbeResidualEntropyPerBit(std::size_t chipsPerBit, double captureProb);
+
+/// Binary entropy h(p) in bits (0 at p ∈ {0, 1}, 1 at p = ½).
+double binaryEntropy(double p);
+
+}  // namespace rfid::privacy

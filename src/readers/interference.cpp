@@ -1,0 +1,56 @@
+#include "readers/interference.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace rfid::readers {
+
+std::size_t ConflictGraph::edgeCount() const {
+  std::size_t twice = 0;
+  for (const auto& nbrs : adjacency) {
+    twice += nbrs.size();
+  }
+  return twice / 2;
+}
+
+std::size_t ConflictGraph::maxDegree() const {
+  std::size_t degree = 0;
+  for (const auto& nbrs : adjacency) {
+    degree = std::max(degree, nbrs.size());
+  }
+  return degree;
+}
+
+bool ConflictGraph::areInConflict(std::size_t a, std::size_t b) const {
+  RFID_REQUIRE(a < adjacency.size() && b < adjacency.size(),
+               "reader index out of range");
+  const auto& nbrs = adjacency[a];
+  return std::find(nbrs.begin(), nbrs.end(), b) != nbrs.end();
+}
+
+ConflictGraph buildConflictGraph(const std::vector<sim::Point>& readers,
+                                 double coverageMeters,
+                                 double interferenceFactor) {
+  RFID_REQUIRE(coverageMeters > 0.0, "coverage radius must be positive");
+  RFID_REQUIRE(interferenceFactor >= 1.0,
+               "interrogation reaches at least as far as coverage");
+  ConflictGraph g;
+  g.adjacency.resize(readers.size());
+  // Conflict when either effect can occur:
+  //   reader-reader: coverage discs intersect       → d < 2·r_cov
+  //   reader-tag:    carrier reaches foreign tags   → d < r_cov·(1 + factor)
+  // The second dominates for factor >= 1.
+  const double threshold = coverageMeters * (1.0 + interferenceFactor);
+  for (std::size_t i = 0; i < readers.size(); ++i) {
+    for (std::size_t j = i + 1; j < readers.size(); ++j) {
+      if (sim::distance(readers[i], readers[j]) < threshold) {
+        g.adjacency[i].push_back(j);
+        g.adjacency[j].push_back(i);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace rfid::readers

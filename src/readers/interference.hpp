@@ -1,0 +1,47 @@
+// Multi-reader interference (§II, "Reader-Tag and Reader-Reader
+// collisions").
+//
+// The paper catalogues two effects beyond tag-tag collisions:
+//
+//   * Reader-Reader collision — a tag inside the *coverage* overlap of two
+//     simultaneously active readers cannot separate their superposed
+//     interrogations. Geometric condition: reader distance < 2·r_cov.
+//
+//   * Reader-Tag collision — a reader B whose (much stronger) carrier
+//     reaches another reader A's tags drowns their weak backscatter even
+//     when B's own coverage does not reach them. Interrogation signals
+//     carry farther than read range, so the condition is reader distance <
+//     r_cov + r_int with r_int = interferenceFactor · r_cov (factor ≥ 1).
+//
+// Both are avoided by never activating two conflicting readers at once (or
+// by giving them different channels). This module builds the conflict
+// graph; scheduler.hpp turns it into activation rounds / channel plans.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/spatial.hpp"
+
+namespace rfid::readers {
+
+/// Undirected conflict graph over readers; adjacency[i] lists j ≠ i that
+/// must not be active at the same time as i.
+struct ConflictGraph {
+  std::vector<std::vector<std::size_t>> adjacency;
+
+  std::size_t readerCount() const noexcept { return adjacency.size(); }
+  std::size_t edgeCount() const;
+  std::size_t maxDegree() const;
+  bool areInConflict(std::size_t a, std::size_t b) const;
+};
+
+/// Builds the conflict graph for readers with coverage radius
+/// `coverageMeters` whose interrogation carrier reaches
+/// `interferenceFactor × coverageMeters` (≥ 1; 1 models reader-reader
+/// conflicts only).
+ConflictGraph buildConflictGraph(const std::vector<sim::Point>& readers,
+                                 double coverageMeters,
+                                 double interferenceFactor = 2.0);
+
+}  // namespace rfid::readers

@@ -1,0 +1,117 @@
+#include "readers/scheduler.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/require.hpp"
+
+namespace rfid::readers {
+
+namespace {
+
+/// Greedy colouring, highest degree first. Returns colour per vertex.
+std::vector<std::size_t> greedyColouring(const ConflictGraph& graph) {
+  const std::size_t n = graph.readerCount();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (graph.adjacency[a].size() != graph.adjacency[b].size()) {
+      return graph.adjacency[a].size() > graph.adjacency[b].size();
+    }
+    return a < b;  // deterministic tie-break
+  });
+
+  constexpr std::size_t kUncoloured = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> colour(n, kUncoloured);
+  std::vector<char> taken;
+  for (const std::size_t v : order) {
+    taken.assign(n + 1, 0);
+    for (const std::size_t nb : graph.adjacency[v]) {
+      if (colour[nb] != kUncoloured) {
+        taken[colour[nb]] = 1;
+      }
+    }
+    std::size_t c = 0;
+    while (taken[c] != 0) {
+      ++c;
+    }
+    colour[v] = c;
+  }
+  return colour;
+}
+
+}  // namespace
+
+bool ActivationSchedule::isValidFor(const ConflictGraph& graph) const {
+  std::vector<char> seen(graph.readerCount(), 0);
+  for (const auto& round : rounds) {
+    for (std::size_t i = 0; i < round.size(); ++i) {
+      if (round[i] >= graph.readerCount() || seen[round[i]] != 0) {
+        return false;
+      }
+      seen[round[i]] = 1;
+      for (std::size_t j = i + 1; j < round.size(); ++j) {
+        if (graph.areInConflict(round[i], round[j])) {
+          return false;
+        }
+      }
+    }
+  }
+  return std::all_of(seen.begin(), seen.end(),
+                     [](char c) { return c != 0; });
+}
+
+ActivationSchedule scheduleActivations(const ConflictGraph& graph) {
+  const std::vector<std::size_t> colour = greedyColouring(graph);
+  const std::size_t colours =
+      colour.empty()
+          ? 0
+          : 1 + *std::max_element(colour.begin(), colour.end());
+  ActivationSchedule schedule;
+  schedule.rounds.resize(colours);
+  for (std::size_t v = 0; v < colour.size(); ++v) {
+    schedule.rounds[colour[v]].push_back(v);
+  }
+  return schedule;
+}
+
+bool ChannelPlan::isValidFor(const ConflictGraph& graph) const {
+  if (channelOf.size() != graph.readerCount()) {
+    return false;
+  }
+  for (std::size_t v = 0; v < channelOf.size(); ++v) {
+    for (const std::size_t nb : graph.adjacency[v]) {
+      if (channelOf[v] == channelOf[nb]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+ChannelPlan assignChannels(const ConflictGraph& graph) {
+  ChannelPlan plan;
+  plan.channelOf = greedyColouring(graph);
+  plan.channels =
+      plan.channelOf.empty()
+          ? 0
+          : 1 + *std::max_element(plan.channelOf.begin(), plan.channelOf.end());
+  return plan;
+}
+
+double scheduledMakespanMicros(const ActivationSchedule& schedule,
+                               const std::vector<double>& cellMicros) {
+  double total = 0.0;
+  for (const auto& round : schedule.rounds) {
+    double roundMax = 0.0;
+    for (const std::size_t reader : round) {
+      RFID_REQUIRE(reader < cellMicros.size(),
+                   "schedule references an unknown reader");
+      roundMax = std::max(roundMax, cellMicros[reader]);
+    }
+    total += roundMax;
+  }
+  return total;
+}
+
+}  // namespace rfid::readers

@@ -1,0 +1,56 @@
+// Reader-activation scheduling (§II: "the effective way to address the
+// Reader-Reader collision is to avoid activating two readers at the same
+// time"; reader-tag collisions are "addressed by assigning different
+// channels to adjacent readers, or scheduling their interrogations into
+// different slots" — cf. the cited slotted scheduled tag access [21] and
+// RASPberry [25]).
+//
+// We provide both mitigations over the conflict graph:
+//   * TDMA rounds — greedy graph colouring (largest-degree-first); readers
+//     of one colour are activated together, rounds run back to back;
+//   * channel assignment — the same colouring interpreted as frequency
+//     channels: if the channel budget covers the colour count, everything
+//     can run concurrently.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "readers/interference.hpp"
+
+namespace rfid::readers {
+
+/// A conflict-free activation plan: rounds[k] lists readers active in
+/// round k; every reader appears in exactly one round.
+struct ActivationSchedule {
+  std::vector<std::vector<std::size_t>> rounds;
+
+  std::size_t roundCount() const noexcept { return rounds.size(); }
+  /// True iff no round contains two conflicting readers and every reader
+  /// of `graph` appears exactly once.
+  bool isValidFor(const ConflictGraph& graph) const;
+};
+
+/// Greedy colouring in descending-degree order; uses at most
+/// maxDegree + 1 rounds.
+ActivationSchedule scheduleActivations(const ConflictGraph& graph);
+
+/// Channel plan: channelOf[i] is reader i's frequency channel. Produced by
+/// the same colouring; `channels` is the number of distinct channels used.
+struct ChannelPlan {
+  std::vector<std::size_t> channelOf;
+  std::size_t channels = 0;
+
+  bool isValidFor(const ConflictGraph& graph) const;
+};
+
+ChannelPlan assignChannels(const ConflictGraph& graph);
+
+/// Makespan of running per-reader inventories under the schedule: rounds
+/// execute sequentially, readers within a round in parallel, so the cost is
+/// Σ_rounds max(cellMicros of the round's readers). `cellMicros[i]` is
+/// reader i's standalone inventory time (0 for an empty cell).
+double scheduledMakespanMicros(const ActivationSchedule& schedule,
+                               const std::vector<double>& cellMicros);
+
+}  // namespace rfid::readers

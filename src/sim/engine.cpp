@@ -1,0 +1,91 @@
+#include "sim/engine.hpp"
+
+#include "common/require.hpp"
+
+namespace rfid::sim {
+
+using phy::SlotType;
+
+SlotEngine::SlotEngine(const core::DetectionScheme& scheme,
+                       phy::Channel& channel, Metrics& metrics)
+    : scheme_(scheme), channel_(channel), metrics_(metrics) {}
+
+SlotType SlotEngine::runSlot(std::span<tags::Tag> tags,
+                             std::span<const std::size_t> responders,
+                             common::Rng& rng) {
+  txScratch_.clear();
+  txScratch_.reserve(responders.size());
+  for (const std::size_t idx : responders) {
+    RFID_REQUIRE(idx < tags.size(), "responder index out of range");
+    const tags::Tag& tag = tags[idx];
+    if (tag.blocker) {
+      // A blocker jams the contention phase with all-ones, so any slot it
+      // joins superposes to a signal no detector reads as single.
+      txScratch_.emplace_back(scheme_.contentionBits(), true);
+    } else {
+      txScratch_.push_back(scheme_.contentionSignal(tag, rng));
+    }
+  }
+
+  const double slotStart = metrics_.nowMicros();
+  const std::uint64_t identifiedBefore = metrics_.identified();
+  const phy::Reception reception = channel_.superpose(txScratch_, rng);
+
+  const SlotType trueType = responders.empty() ? SlotType::kIdle
+                            : responders.size() == 1
+                                ? SlotType::kSingle
+                                : SlotType::kCollided;
+  const SlotType detected = scheme_.classify(reception.signal,
+                                             responders.size());
+
+  metrics_.recordSlot(
+      trueType, detected,
+      scheme_.air().bitsToMicros(scheme_.timing().bitsFor(detected)));
+
+  if (detected == SlotType::kSingle) {
+    const double now = metrics_.nowMicros();
+    if (reception.capturedIndex.has_value()) {
+      // Exactly one signal was demodulated cleanly (a lone responder, or a
+      // capture-effect winner): the reader ACKs and reads the true ID.
+      tags::Tag& tag = tags[responders[*reception.capturedIndex]];
+      if (!tag.blocker) {
+        tag.believesIdentified = true;
+        tag.correctlyIdentified = true;
+        tag.identifiedAtMicros = now;
+        metrics_.recordIdentification(/*correct=*/true, now);
+      }
+    } else {
+      // Misdetected collision (e.g. all QCD responders drew the same r).
+      // The reader ACKs; every honest responder takes the ACK and falls
+      // silent, while the reader logs one phantom ID — the OR of the real
+      // ones.
+      std::uint64_t silenced = 0;
+      for (const std::size_t idx : responders) {
+        tags::Tag& tag = tags[idx];
+        if (tag.blocker) continue;
+        tag.believesIdentified = true;
+        tag.correctlyIdentified = false;
+        tag.identifiedAtMicros = now;
+        metrics_.recordIdentification(/*correct=*/false, now);
+        ++silenced;
+      }
+      metrics_.recordPhantom(silenced);
+    }
+  }
+
+  if (observer_ != nullptr) {
+    SlotEvent event;
+    event.index = slotIndex_;
+    event.trueType = trueType;
+    event.detectedType = detected;
+    event.responders = responders.size();
+    event.startMicros = slotStart;
+    event.durationMicros = metrics_.nowMicros() - slotStart;
+    event.identified = metrics_.identified() - identifiedBefore;
+    observer_->onSlot(event);
+  }
+  ++slotIndex_;
+  return detected;
+}
+
+}  // namespace rfid::sim

@@ -1,0 +1,57 @@
+// The slot engine: one contention slot, end to end.
+//
+// The engine owns the mechanics every anti-collision protocol shares — tags
+// put their contention signal on the air, the channel superposes, the
+// detection scheme classifies, airtime is charged, and identification (or a
+// phantom identification after a misdetected collision) is applied to tag
+// state. Protocols only decide *who responds in which slot*.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "common/rng.hpp"
+#include "core/detection_scheme.hpp"
+#include "phy/channel.hpp"
+#include "phy/timing.hpp"
+#include "sim/metrics.hpp"
+#include "sim/trace.hpp"
+#include "tags/tag.hpp"
+
+namespace rfid::sim {
+
+class SlotEngine {
+ public:
+  SlotEngine(const core::DetectionScheme& scheme, phy::Channel& channel,
+             Metrics& metrics);
+
+  /// Runs one slot in which `responders` (indices into `tags`) transmit.
+  /// Classifies, charges airtime, and — when the reader reads the slot as
+  /// single — performs the identification handshake:
+  ///   * a cleanly received tag is marked correctly identified;
+  ///   * if the "single" was a misdetected collision, every honest responder
+  ///     is silenced by the phantom ACK and a phantom ID is recorded.
+  /// Returns the slot type as the reader detected it (which is also what
+  /// the reader broadcasts to the tags).
+  phy::SlotType runSlot(std::span<tags::Tag> tags,
+                        std::span<const std::size_t> responders,
+                        common::Rng& rng);
+
+  const core::DetectionScheme& scheme() const noexcept { return scheme_; }
+  Metrics& metrics() noexcept { return metrics_; }
+
+  /// Attaches a slot observer (nullptr detaches). The engine does not own
+  /// it; events cost nothing when no observer is set.
+  void setObserver(SlotObserver* observer) noexcept { observer_ = observer; }
+
+ private:
+  const core::DetectionScheme& scheme_;
+  phy::Channel& channel_;
+  Metrics& metrics_;
+  SlotObserver* observer_ = nullptr;
+  std::uint64_t slotIndex_ = 0;
+  std::vector<common::BitVec> txScratch_;
+};
+
+}  // namespace rfid::sim

@@ -1,0 +1,49 @@
+#include "sim/metrics.hpp"
+
+namespace rfid::sim {
+
+void Metrics::recordSlot(phy::SlotType trueType, phy::SlotType detectedType,
+                         double airtimeMicros) {
+  trueCensus_.bump(trueType);
+  detectedCensus_.bump(detectedType);
+  ++confusion_[static_cast<std::size_t>(trueType)]
+              [static_cast<std::size_t>(detectedType)];
+  airtimeMicros_ += airtimeMicros;
+  nowMicros_ += airtimeMicros;
+}
+
+void Metrics::recordIdentification(bool correct, double atMicros) {
+  ++identified_;
+  if (correct) {
+    ++correct_;
+  }
+  delays_.push_back(atMicros);
+}
+
+double Metrics::throughput() const noexcept {
+  const std::uint64_t total = detectedCensus_.total();
+  return total == 0
+             ? 0.0
+             : static_cast<double>(detectedCensus_.single) /
+                   static_cast<double>(total);
+}
+
+double Metrics::collisionDetectionAccuracy() const noexcept {
+  const std::uint64_t trueCollided = trueCensus_.collided;
+  if (trueCollided == 0) return 1.0;
+  const std::uint64_t correctlyFlagged =
+      confusion_[static_cast<std::size_t>(phy::SlotType::kCollided)]
+                [static_cast<std::size_t>(phy::SlotType::kCollided)];
+  return static_cast<double>(correctlyFlagged) /
+         static_cast<double>(trueCollided);
+}
+
+double Metrics::utilizationRate(double idBits, double tauMicros) const
+    noexcept {
+  if (airtimeMicros_ <= 0.0) return 0.0;
+  const double usefulMicros =
+      static_cast<double>(detectedCensus_.single) * idBits * tauMicros;
+  return usefulMicros / airtimeMicros_;
+}
+
+}  // namespace rfid::sim

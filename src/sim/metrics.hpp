@@ -1,0 +1,100 @@
+// Per-round measurement collection.
+//
+// One Metrics instance records a single identification procedure: the slot
+// census (idle/single/collided, both ground truth and as the detector saw
+// them), the detection confusion matrix, total airtime, per-tag
+// identification delays, frame count, and the phantom-identification
+// accounting that QCD misdetections can cause. All of the paper's metrics
+// (throughput §III, accuracy §VI-B, UR §VI-C, delay §VI-D, EI §VI-E) are
+// derived views over this record.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "phy/timing.hpp"
+
+namespace rfid::sim {
+
+struct SlotCensus {
+  std::uint64_t idle = 0;
+  std::uint64_t single = 0;
+  std::uint64_t collided = 0;
+
+  std::uint64_t total() const noexcept { return idle + single + collided; }
+  void bump(phy::SlotType t) noexcept {
+    switch (t) {
+      case phy::SlotType::kIdle:
+        ++idle;
+        break;
+      case phy::SlotType::kSingle:
+        ++single;
+        break;
+      case phy::SlotType::kCollided:
+        ++collided;
+        break;
+    }
+  }
+};
+
+class Metrics {
+ public:
+  // --- clock -------------------------------------------------------------
+  double nowMicros() const noexcept { return nowMicros_; }
+  void advanceMicros(double dt) noexcept { nowMicros_ += dt; }
+
+  // --- recording (called by the slot engine / protocols) ------------------
+  void recordSlot(phy::SlotType trueType, phy::SlotType detectedType,
+                  double airtimeMicros);
+  void recordFrame() noexcept { ++frames_; }
+  /// A tag fell silent at `atMicros`; `correct` is false when it was
+  /// silenced by a phantom ACK (misdetected collision).
+  void recordIdentification(bool correct, double atMicros);
+  /// A misdetected collision silenced `tagsLost` tags with one phantom ID.
+  void recordPhantom(std::uint64_t tagsLost) noexcept {
+    ++phantoms_;
+    lostTags_ += tagsLost;
+  }
+
+  // --- views ---------------------------------------------------------------
+  const SlotCensus& trueCensus() const noexcept { return trueCensus_; }
+  const SlotCensus& detectedCensus() const noexcept { return detectedCensus_; }
+  /// confusion()[true][detected], indexed by SlotType's underlying value.
+  const std::array<std::array<std::uint64_t, 3>, 3>& confusion() const
+      noexcept {
+    return confusion_;
+  }
+  std::uint64_t frames() const noexcept { return frames_; }
+  double totalAirtimeMicros() const noexcept { return airtimeMicros_; }
+  std::uint64_t identified() const noexcept { return identified_; }
+  std::uint64_t correctlyIdentified() const noexcept { return correct_; }
+  std::uint64_t phantoms() const noexcept { return phantoms_; }
+  std::uint64_t lostTags() const noexcept { return lostTags_; }
+  const std::vector<double>& delaysMicros() const noexcept { return delays_; }
+
+  /// λ = N₁ / (N₀ + N₁ + N_c) over the detected census (§III).
+  double throughput() const noexcept;
+  /// Fraction of true collision slots the detector flagged as collided
+  /// (the accuracy metric of §VI-B / Fig. 5). Returns 1 when there were no
+  /// true collisions.
+  double collisionDetectionAccuracy() const noexcept;
+  /// UR (§VI-C): time spent on successfully transmitted IDs over total
+  /// identification time. `idBits`/`tauMicros` describe the air interface.
+  double utilizationRate(double idBits, double tauMicros) const noexcept;
+
+ private:
+  SlotCensus trueCensus_;
+  SlotCensus detectedCensus_;
+  std::array<std::array<std::uint64_t, 3>, 3> confusion_{};
+  std::uint64_t frames_ = 0;
+  double airtimeMicros_ = 0.0;
+  double nowMicros_ = 0.0;
+  std::uint64_t identified_ = 0;
+  std::uint64_t correct_ = 0;
+  std::uint64_t phantoms_ = 0;
+  std::uint64_t lostTags_ = 0;
+  std::vector<double> delays_;
+};
+
+}  // namespace rfid::sim

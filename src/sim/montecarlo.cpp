@@ -1,0 +1,22 @@
+#include "sim/montecarlo.hpp"
+
+#include "common/thread_pool.hpp"
+
+namespace rfid::sim {
+
+std::vector<Metrics> runMonteCarlo(
+    std::size_t rounds, std::uint64_t seed,
+    const std::function<void(common::Rng&, Metrics&)>& round,
+    unsigned threads) {
+  std::vector<Metrics> results(rounds);
+  common::parallelFor(
+      0, rounds,
+      [&](std::size_t k) {
+        common::Rng rng = common::Rng::forStream(seed, k);
+        round(rng, results[k]);
+      },
+      threads);
+  return results;
+}
+
+}  // namespace rfid::sim

@@ -1,0 +1,23 @@
+// Monte-Carlo execution: repeated identification rounds with independent,
+// deterministic random streams, optionally spread across a thread pool.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/metrics.hpp"
+
+namespace rfid::sim {
+
+/// Runs `rounds` independent rounds. Round k receives Rng::forStream(seed, k)
+/// and its own Metrics instance; the returned vector is indexed by round, so
+/// results are bit-identical regardless of `threads` (0 = hardware
+/// concurrency, 1 = serial).
+std::vector<Metrics> runMonteCarlo(
+    std::size_t rounds, std::uint64_t seed,
+    const std::function<void(common::Rng&, Metrics&)>& round,
+    unsigned threads = 0);
+
+}  // namespace rfid::sim

@@ -1,0 +1,15 @@
+#include "sim/scenario.hpp"
+
+namespace rfid::sim {
+
+const std::array<PaperCase, 4>& paperCases() {
+  static const std::array<PaperCase, 4> cases = {{
+      {"I", 50, 30},
+      {"II", 500, 300},
+      {"III", 5000, 3000},
+      {"IV", 50000, 30000},
+  }};
+  return cases;
+}
+
+}  // namespace rfid::sim

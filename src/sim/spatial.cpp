@@ -1,0 +1,77 @@
+#include "sim/spatial.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/require.hpp"
+
+namespace rfid::sim {
+
+double distance(Point a, Point b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+std::vector<Point> gridReaderLayout(const Deployment& d) {
+  const auto side = static_cast<std::size_t>(
+      std::llround(std::sqrt(static_cast<double>(d.readerCount))));
+  RFID_REQUIRE(side * side == d.readerCount,
+               "grid layout needs a perfect-square reader count");
+  const double pitch = d.areaSideMeters / static_cast<double>(side);
+  std::vector<Point> readers;
+  readers.reserve(d.readerCount);
+  for (std::size_t i = 0; i < side; ++i) {
+    for (std::size_t j = 0; j < side; ++j) {
+      readers.push_back(Point{(static_cast<double>(i) + 0.5) * pitch,
+                              (static_cast<double>(j) + 0.5) * pitch});
+    }
+  }
+  return readers;
+}
+
+std::vector<Point> uniformTagLayout(const Deployment& d, std::size_t count,
+                                    common::Rng& rng) {
+  std::vector<Point> tags;
+  tags.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    tags.push_back(
+        Point{rng.real() * d.areaSideMeters, rng.real() * d.areaSideMeters});
+  }
+  return tags;
+}
+
+std::size_t CellAssignment::coveredCount() const {
+  std::size_t n = 0;
+  for (const auto& cell : cells) {
+    n += cell.size();
+  }
+  return n;
+}
+
+CellAssignment assignTagsToReaders(const std::vector<Point>& readers,
+                                   const std::vector<Point>& tagPositions,
+                                   double rangeMeters) {
+  RFID_REQUIRE(rangeMeters > 0.0, "reader range must be positive");
+  CellAssignment out;
+  out.cells.resize(readers.size());
+  for (std::size_t t = 0; t < tagPositions.size(); ++t) {
+    std::size_t best = readers.size();
+    double bestDist = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < readers.size(); ++r) {
+      const double d = distance(readers[r], tagPositions[t]);
+      if (d <= rangeMeters && d < bestDist) {
+        best = r;
+        bestDist = d;
+      }
+    }
+    if (best < readers.size()) {
+      out.cells[best].push_back(t);
+    } else {
+      out.uncovered.push_back(t);
+    }
+  }
+  return out;
+}
+
+}  // namespace rfid::sim

@@ -1,0 +1,53 @@
+// Spatial deployment substrate (Table V).
+//
+// The paper's simulations place 100 readers in a 100 m × 100 m area, each
+// with a 3 m identification range, and scatter tags uniformly. With readers
+// on a 10 m grid and a 3 m radius the coverage discs are disjoint, so the
+// multi-reader system decomposes into independent single-reader cells (the
+// paper additionally assumes no reader-reader or reader-tag collisions,
+// §II). This module models the geometry: placement, range queries, and the
+// partition of a tag population into per-reader cells plus an uncovered
+// remainder.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/scenario.hpp"
+
+namespace rfid::sim {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+double distance(Point a, Point b);
+
+/// Reader positions on a √n × √n grid centred in their cells (the natural
+/// reading of "100 readers in a 100 m × 100 m area"). readerCount must be a
+/// perfect square.
+std::vector<Point> gridReaderLayout(const Deployment& d);
+
+/// Uniformly random tag positions in the deployment area.
+std::vector<Point> uniformTagLayout(const Deployment& d, std::size_t count,
+                                    common::Rng& rng);
+
+/// The partition of tags among readers.
+struct CellAssignment {
+  /// cells[r] lists indices of tags within reader r's range (a tag within
+  /// range of several readers — impossible with the disjoint paper grid,
+  /// but possible with other layouts — is assigned to the nearest one).
+  std::vector<std::vector<std::size_t>> cells;
+  /// Tags outside every reader's range; they are unreadable.
+  std::vector<std::size_t> uncovered;
+
+  std::size_t coveredCount() const;
+};
+
+CellAssignment assignTagsToReaders(const std::vector<Point>& readers,
+                                   const std::vector<Point>& tagPositions,
+                                   double rangeMeters);
+
+}  // namespace rfid::sim

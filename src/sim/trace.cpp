@@ -1,0 +1,19 @@
+#include "sim/trace.hpp"
+
+#include <ostream>
+
+namespace rfid::sim {
+
+CsvTraceWriter::CsvTraceWriter(std::ostream& out) : out_(out) {
+  out_ << "slot,true_type,detected_type,responders,start_us,duration_us,"
+          "identified\n";
+}
+
+void CsvTraceWriter::onSlot(const SlotEvent& event) {
+  out_ << event.index << ',' << phy::toString(event.trueType) << ','
+       << phy::toString(event.detectedType) << ',' << event.responders << ','
+       << event.startMicros << ',' << event.durationMicros << ','
+       << event.identified << '\n';
+}
+
+}  // namespace rfid::sim

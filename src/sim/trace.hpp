@@ -1,0 +1,52 @@
+// Slot-level tracing: an observer hook on the slot engine plus a CSV
+// writer, for debugging protocol behaviour and exporting figure data
+// without touching the hot path when no observer is attached.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "phy/timing.hpp"
+
+namespace rfid::sim {
+
+/// Everything knowable about one executed slot.
+struct SlotEvent {
+  std::uint64_t index = 0;        ///< 0-based slot number within the run
+  phy::SlotType trueType{};       ///< ground truth (responder count)
+  phy::SlotType detectedType{};   ///< the reader's verdict
+  std::size_t responders = 0;     ///< transmitting tags (incl. blockers)
+  double startMicros = 0.0;       ///< clock when the slot began
+  double durationMicros = 0.0;    ///< airtime charged for the slot
+  std::uint64_t identified = 0;   ///< tags silenced by this slot
+};
+
+class SlotObserver {
+ public:
+  virtual ~SlotObserver() = default;
+  virtual void onSlot(const SlotEvent& event) = 0;
+};
+
+/// Buffers every event in memory (tests, small runs).
+class RecordingObserver final : public SlotObserver {
+ public:
+  void onSlot(const SlotEvent& event) override { events_.push_back(event); }
+  const std::vector<SlotEvent>& events() const noexcept { return events_; }
+
+ private:
+  std::vector<SlotEvent> events_;
+};
+
+/// Streams events as CSV rows; writes the header on construction.
+class CsvTraceWriter final : public SlotObserver {
+ public:
+  explicit CsvTraceWriter(std::ostream& out);
+  void onSlot(const SlotEvent& event) override;
+
+ private:
+  std::ostream& out_;
+};
+
+}  // namespace rfid::sim

@@ -1,0 +1,61 @@
+#include "tags/population.hpp"
+
+#include <unordered_set>
+
+#include "common/require.hpp"
+
+namespace rfid::tags {
+
+std::vector<Tag> makeUniformPopulation(std::size_t count, std::size_t idBits,
+                                       common::Rng& rng) {
+  RFID_REQUIRE(idBits >= 1 && idBits <= 64, "idBits must be in [1, 64]");
+  // Need `count` distinct non-zero IDs.
+  if (idBits < 64) {
+    RFID_REQUIRE(count < (std::uint64_t{1} << idBits),
+                 "idBits too small for a unique population of this size");
+  }
+
+  std::vector<Tag> tags;
+  tags.reserve(count);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(count * 2);
+  while (tags.size() < count) {
+    const std::uint64_t value =
+        idBits == 64 ? rng() : rng.bits(static_cast<unsigned>(idBits));
+    if (value == 0 || !seen.insert(value).second) {
+      continue;  // IDs are non-zero (idle air is the all-zero signal) and unique
+    }
+    Tag t;
+    t.idValue = value;
+    t.id = common::BitVec::fromUint(value, idBits);
+    tags.push_back(std::move(t));
+  }
+  return tags;
+}
+
+Tag makeBlockerTag(std::size_t idBits) {
+  RFID_REQUIRE(idBits >= 1 && idBits <= 64, "idBits must be in [1, 64]");
+  Tag t;
+  t.blocker = true;
+  t.id = common::BitVec(idBits, true);
+  t.idValue = t.id.toUint();
+  return t;
+}
+
+std::size_t countBelievedIdentified(const std::vector<Tag>& tags) {
+  std::size_t n = 0;
+  for (const Tag& t : tags) {
+    if (t.believesIdentified) ++n;
+  }
+  return n;
+}
+
+std::size_t countCorrectlyIdentified(const std::vector<Tag>& tags) {
+  std::size_t n = 0;
+  for (const Tag& t : tags) {
+    if (t.correctlyIdentified) ++n;
+  }
+  return n;
+}
+
+}  // namespace rfid::tags

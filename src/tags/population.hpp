@@ -1,0 +1,26 @@
+// Tag population factories.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tags/tag.hpp"
+
+namespace rfid::tags {
+
+/// `count` tags with unique, uniformly random, non-zero IDs of `idBits` bits
+/// (the paper's "randomly selected ID", Table V). idBits must be in [1, 64]
+/// and large enough for `count` distinct values.
+std::vector<Tag> makeUniformPopulation(std::size_t count, std::size_t idBits,
+                                       common::Rng& rng);
+
+/// A single blocker tag (always-respond jammer). Its ID is all-ones.
+Tag makeBlockerTag(std::size_t idBits);
+
+/// Number of tags that believe they were identified.
+std::size_t countBelievedIdentified(const std::vector<Tag>& tags);
+/// Number of tags whose true ID actually reached the reader.
+std::size_t countCorrectlyIdentified(const std::vector<Tag>& tags);
+
+}  // namespace rfid::tags

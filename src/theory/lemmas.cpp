@@ -1,0 +1,168 @@
+#include "theory/lemmas.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "common/require.hpp"
+
+namespace rfid::theory {
+
+namespace {
+
+// Lemma 2 constants (Capetanakis / Hush & Wood).
+constexpr double kBtCollidedPerTag = 1.443;
+constexpr double kBtIdlePerTag = 0.442;
+
+// §V-A / §V-B: slots per tag at the respective operating points.
+constexpr double kFsaSlotsPerTag = 2.7;    // 1 / 0.37
+constexpr double kBtSlotsPerTag = 2.885;   // Lemma 2
+
+}  // namespace
+
+double fsaExpectedThroughput(double tagCount, double frameSize) {
+  RFID_REQUIRE(tagCount >= 0.0, "tag count must be non-negative");
+  RFID_REQUIRE(frameSize > 0.0, "frame size must be positive");
+  const double rho = tagCount / frameSize;
+  return rho * std::exp(-rho);
+}
+
+double fsaMaxThroughput() { return 1.0 / std::exp(1.0); }
+
+SlotProbabilities fsaSlotProbabilities(double tagCount, double frameSize) {
+  RFID_REQUIRE(tagCount >= 0.0, "tag count must be non-negative");
+  RFID_REQUIRE(frameSize >= 1.0, "frame size must be at least one slot");
+  SlotProbabilities p;
+  // Binomial occupancy of one slot out of F by n tags.
+  const double q = 1.0 - 1.0 / frameSize;
+  p.idle = std::pow(q, tagCount);
+  p.single = frameSize == 1.0
+                 ? (tagCount == 1.0 ? 1.0 : 0.0)
+                 : tagCount / frameSize * std::pow(q, tagCount - 1.0);
+  p.collided = 1.0 - p.idle - p.single;
+  if (p.collided < 0.0) p.collided = 0.0;
+  return p;
+}
+
+BtSlotCounts btExpectedSlots(double tagCount) {
+  RFID_REQUIRE(tagCount >= 0.0, "tag count must be non-negative");
+  return BtSlotCounts{kBtCollidedPerTag * tagCount, kBtIdlePerTag * tagCount,
+                      tagCount};
+}
+
+double btAverageThroughput() { return 1.0 / kBtSlotsPerTag; }
+
+double eiFsaMinimum(const EiParams& p) {
+  // t_crc = 2.7·n·τ·(l_id + l_crc);  t_qcd = n·τ·(l_prm + l_id) + 1.7·n·τ·l_prm
+  const double tCrc = kFsaSlotsPerTag * (p.idBits + p.crcBits);
+  const double tQcd =
+      (p.preambleBits + p.idBits) + (kFsaSlotsPerTag - 1.0) * p.preambleBits;
+  return (tCrc - tQcd) / tCrc;
+}
+
+double eiBtAverage(const EiParams& p) {
+  // t_crc = 2.885·n·τ·(l_id + l_crc);  t_qcd = n·τ·(l_prm + l_id) + 1.885·n·τ·l_prm
+  const double tCrc = kBtSlotsPerTag * (p.idBits + p.crcBits);
+  const double tQcd =
+      (p.preambleBits + p.idBits) + (kBtSlotsPerTag - 1.0) * p.preambleBits;
+  return (tCrc - tQcd) / tCrc;
+}
+
+double eiFromTimes(double crcCdMicros, double qcdMicros) {
+  RFID_REQUIRE(crcCdMicros > 0.0, "CRC-CD time must be positive");
+  return (crcCdMicros - qcdMicros) / crcCdMicros;
+}
+
+double urQcd(double idleSlots, double singleSlots, double collidedSlots,
+             const EiParams& p) {
+  const double denom = singleSlots * (p.preambleBits + p.idBits) +
+                       (idleSlots + collidedSlots) * p.preambleBits;
+  return denom <= 0.0 ? 0.0 : singleSlots * p.idBits / denom;
+}
+
+double urCrcCd(double idleSlots, double singleSlots, double collidedSlots,
+               const EiParams& p) {
+  const double total = idleSlots + singleSlots + collidedSlots;
+  const double denom = total * (p.idBits + p.crcBits);
+  return denom <= 0.0 ? 0.0 : singleSlots * p.idBits / denom;
+}
+
+double qcdExpectedAccuracy(unsigned strength, std::size_t multiplicity) {
+  RFID_REQUIRE(strength >= 1 && strength <= 64,
+               "QCD strength must be in [1, 64]");
+  if (multiplicity <= 1) return 1.0;
+  const double values =
+      strength == 64 ? std::ldexp(1.0, 64) - 1.0
+                     : static_cast<double>((std::uint64_t{1} << strength) - 1);
+  return 1.0 - std::pow(values, -static_cast<double>(multiplicity - 1));
+}
+
+double qcdExpectedFsaAccuracy(unsigned strength, double tagCount,
+                              double frameSize) {
+  RFID_REQUIRE(tagCount >= 2.0, "need at least two tags to collide");
+  RFID_REQUIRE(frameSize >= 1.0, "frame size must be at least one slot");
+  // P(slot holds exactly m of the n tags) — binomial(n, 1/F); condition on
+  // m >= 2 and average the per-multiplicity accuracy.
+  const auto n = static_cast<std::size_t>(tagCount);
+  const double invF = 1.0 / frameSize;
+  double pCollision = 0.0;
+  double weightedAccuracy = 0.0;
+  // P(m) computed iteratively: P(0) = (1-1/F)^n; P(m+1)/P(m) = ((n-m)/(m+1))·(p/(1-p)).
+  double pm = std::pow(1.0 - invF, static_cast<double>(n));
+  const double ratio = invF / (1.0 - invF);
+  for (std::size_t m = 0; m < n; ++m) {
+    const double pmNext =
+        pm * static_cast<double>(n - m) / static_cast<double>(m + 1) * ratio;
+    if (m + 1 >= 2) {
+      pCollision += pmNext;
+      weightedAccuracy += pmNext * qcdExpectedAccuracy(strength, m + 1);
+    }
+    pm = pmNext;
+    if (pm < 1e-300) break;
+  }
+  return pCollision <= 0.0 ? 1.0 : weightedAccuracy / pCollision;
+}
+
+StrengthEvaluation evaluateStrengthFsa(unsigned strength, double tagCount,
+                                       const EiParams& p) {
+  RFID_REQUIRE(strength >= 1 && strength <= 64,
+               "QCD strength must be in [1, 64]");
+  RFID_REQUIRE(tagCount >= 1.0, "need at least one tag");
+  StrengthEvaluation out;
+  out.strength = strength;
+  // FSA at the Lemma-1 optimum uses ~2.7 slots per tag, of which the
+  // collided share is 1 − 2/e ≈ 0.2642 per slot → ~0.71 collided slots per
+  // tag; a collided slot evades with ~(2^l − 1)^-1 (pairs dominate) and
+  // silences ~2 tags.
+  const double collidedSlotsPerTag = (1.0 - 2.0 / std::exp(1.0)) * 2.7;
+  const double evasion =
+      1.0 / (std::ldexp(1.0, static_cast<int>(strength)) - 1.0);
+  out.lostFractionPerPass =
+      std::min(0.99, collidedSlotsPerTag * evasion * 2.0);
+
+  const double prm = 2.0 * static_cast<double>(strength);
+  double remaining = tagCount;
+  double bits = 0.0;
+  // Geometric tail of re-inventory passes; truncate when negligible.
+  for (int pass = 0; pass < 64 && remaining >= 1e-6; ++pass) {
+    bits += remaining * (prm + p.idBits) + 1.7 * remaining * prm;
+    remaining *= out.lostFractionPerPass;
+  }
+  out.expectedBits = bits;
+  return out;
+}
+
+unsigned optimalStrengthFsa(double tagCount, const EiParams& p) {
+  unsigned best = 1;
+  double bestBits = std::numeric_limits<double>::infinity();
+  for (unsigned l = 1; l <= 32; ++l) {
+    const double bits = evaluateStrengthFsa(l, tagCount, p).expectedBits;
+    if (bits < bestBits) {
+      bestBits = bits;
+      best = l;
+    }
+  }
+  return best;
+}
+
+}  // namespace rfid::theory

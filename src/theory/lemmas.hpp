@@ -1,0 +1,115 @@
+// Closed-form results from the paper (§III and §V), used both by DFSA-style
+// frame sizing and by the benches that print theory next to measurement.
+#pragma once
+
+#include <cstddef>
+
+namespace rfid::theory {
+
+// --- Lemma 1: FSA ----------------------------------------------------------
+
+/// Expected FSA throughput λ = (n/F)·e^(−n/F) for n tags in an F-slot frame.
+double fsaExpectedThroughput(double tagCount, double frameSize);
+
+/// λ_max = 1/e ≈ 0.3679, attained at F = n (Lemma 1; the paper rounds to
+/// 0.37).
+double fsaMaxThroughput();
+
+/// Expected per-slot-type probabilities for n tags in an F-slot frame.
+struct SlotProbabilities {
+  double idle = 0.0;
+  double single = 0.0;
+  double collided = 0.0;
+};
+SlotProbabilities fsaSlotProbabilities(double tagCount, double frameSize);
+
+// --- Lemma 2: BT -------------------------------------------------------------
+
+/// Average slot counts for identifying n tags with binary-tree splitting
+/// (Hush & Wood / Capetanakis constants quoted by Lemma 2): 2.885·n total =
+/// 1.443·n collided + 0.442·n idle + n single.
+struct BtSlotCounts {
+  double collided = 0.0;
+  double idle = 0.0;
+  double single = 0.0;
+  double total() const noexcept { return collided + idle + single; }
+};
+BtSlotCounts btExpectedSlots(double tagCount);
+
+/// λ_avg = n / 2.885·n ≈ 0.3466 (the paper rounds to 0.35).
+double btAverageThroughput();
+
+// --- §V: efficiency improvement ---------------------------------------------
+
+/// Air-interface lengths entering the EI formulas.
+struct EiParams {
+  double idBits = 64.0;        ///< l_id
+  double crcBits = 32.0;       ///< l_crc
+  double preambleBits = 16.0;  ///< l_prm = 2 × strength
+};
+
+/// Minimum EI of QCD over CRC-CD on FSA at the Lemma-1 optimum (§V-A):
+///   EI = (0.6296·l_id + l_crc − l_prm) / (l_id + l_crc).
+/// (The paper prints "+l_prm"; deriving from its own t_crc/t_qcd gives the
+/// −l_prm form, which reproduces every Table II entry — see DESIGN.md.)
+double eiFsaMinimum(const EiParams& p);
+
+/// Average EI of QCD over CRC-CD on BT (§V-B):
+///   EI = (0.6534·l_id + l_crc − l_prm) / (l_id + l_crc).
+double eiBtAverage(const EiParams& p);
+
+/// EI computed directly from two measured identification times.
+double eiFromTimes(double crcCdMicros, double qcdMicros);
+
+// --- §VI-C: utilization rate --------------------------------------------------
+
+/// UR from a slot census under QCD (§VI-C):
+///   UR = N₁·l_id / (N₁·(l_prm + l_id) + (N₀ + N_c)·l_prm).
+double urQcd(double idleSlots, double singleSlots, double collidedSlots,
+             const EiParams& p);
+
+/// UR from a slot census under CRC-CD: every slot costs l_id + l_crc.
+double urCrcCd(double idleSlots, double singleSlots, double collidedSlots,
+               const EiParams& p);
+
+// --- §IV-B / §VI-B: QCD accuracy ----------------------------------------------
+
+/// Expected per-slot detection accuracy for a collision of multiplicity m at
+/// strength l: 1 − (2^l − 1)^−(m−1).
+double qcdExpectedAccuracy(unsigned strength, std::size_t multiplicity);
+
+/// Expected accuracy over the collision-multiplicity distribution of an FSA
+/// frame with n tags and F slots (multiplicities are binomially distributed,
+/// conditioned on m ≥ 2).
+double qcdExpectedFsaAccuracy(unsigned strength, double tagCount,
+                              double frameSize);
+
+// --- strength optimisation (the quantitative case for §IV-B's l = 8) ---------
+
+/// Expected cost of completely and *correctly* inventorying n tags with
+/// QCD-FSA at strength l, charging re-inventory passes for the tags lost to
+/// preamble evasions: a pass at the Lemma-1 optimum costs
+/// n·(2l + l_id) + 1.7n·2l bit-times and silently loses a fraction
+/// φ(l) ≈ (collided slots per tag)·evasion·2 of its tags, so
+///   T(l) = Σ_passes T_pass(n_k),  n_{k+1} = φ(l)·n_k.
+struct StrengthEvaluation {
+  unsigned strength = 0;
+  double expectedBits = 0.0;      ///< total airtime (bit-times) until clean
+  double lostFractionPerPass = 0.0;
+};
+
+StrengthEvaluation evaluateStrengthFsa(unsigned strength, double tagCount,
+                                       const EiParams& p);
+
+/// The l in [1, 32] minimising evaluateStrengthFsa's expected airtime.
+///
+/// Note the honest finding: if lost tags could be freely re-inventoried,
+/// the *time*-optimal strength for the EPC profile is small (l ≈ 4) —
+/// evasions are cheap to repair when you know they happened. But a reader
+/// cannot observe phantom losses (a silenced tag looks identified), so the
+/// operating choice is accuracy-driven: the paper's l = 8 is the smallest
+/// strength whose single-pass loss fraction drops below half a percent
+/// (see StrengthEvaluation::lostFractionPerPass).
+unsigned optimalStrengthFsa(double tagCount, const EiParams& p);
+
+}  // namespace rfid::theory

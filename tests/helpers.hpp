@@ -1,0 +1,48 @@
+// Shared fixtures for protocol tests: a bundled engine + population and a
+// one-call "identify everything" harness.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/detection_scheme.hpp"
+#include "phy/channel.hpp"
+#include "sim/engine.hpp"
+#include "sim/metrics.hpp"
+#include "tags/population.hpp"
+
+namespace rfid::testing {
+
+/// Owns everything a protocol run needs; schemes default to the paper's
+/// QCD l = 8 over the pure OR channel.
+struct Harness {
+  explicit Harness(std::size_t tagCount, std::uint64_t seed = 1,
+                   std::unique_ptr<core::DetectionScheme> customScheme = {},
+                   std::unique_ptr<phy::Channel> customChannel = {})
+      : rng(seed),
+        scheme(customScheme ? std::move(customScheme)
+                            : std::make_unique<core::QcdScheme>(
+                                  phy::AirInterface{}, 8)),
+        channel(customChannel ? std::move(customChannel)
+                              : std::make_unique<phy::OrChannel>()),
+        engine(*scheme, *channel, metrics),
+        tags(tags::makeUniformPopulation(tagCount, scheme->air().idBits,
+                                         rng)) {}
+
+  common::Rng rng;
+  std::unique_ptr<core::DetectionScheme> scheme;
+  std::unique_ptr<phy::Channel> channel;
+  sim::Metrics metrics;
+  sim::SlotEngine engine;
+  std::vector<tags::Tag> tags;
+
+  std::size_t believed() const {
+    return tags::countBelievedIdentified(tags);
+  }
+  std::size_t correct() const {
+    return tags::countCorrectlyIdentified(tags);
+  }
+};
+
+}  // namespace rfid::testing

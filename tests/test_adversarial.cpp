@@ -1,0 +1,91 @@
+// Adversarial populations: the blocker tag (Juels et al., §II). A jammer
+// that responds to every query stalls QT entirely, degrades FSA/BT, and the
+// slot caps keep every protocol's run() total.
+#include <gtest/gtest.h>
+
+#include "anticollision/bt.hpp"
+#include "anticollision/fsa.hpp"
+#include "anticollision/qt.hpp"
+#include "helpers.hpp"
+#include "tags/population.hpp"
+
+namespace {
+
+using rfid::anticollision::BinaryTree;
+using rfid::anticollision::FramedSlottedAloha;
+using rfid::anticollision::QueryTree;
+using rfid::testing::Harness;
+
+void addBlocker(Harness& h) {
+  h.tags.push_back(rfid::tags::makeBlockerTag(h.scheme->air().idBits));
+}
+
+TEST(Adversarial, BlockerStallsQtCompletely) {
+  // "When a 'malicious' tag keeps responding, QT fails to identify any
+  // tag" (§II). Every query collides, so no tag is ever read.
+  Harness h(20, 71);
+  addBlocker(h);
+  QueryTree qt(/*maxSlots=*/20000);
+  EXPECT_FALSE(qt.run(h.engine, h.tags, h.rng));
+  EXPECT_EQ(h.believed(), 0u);
+  EXPECT_EQ(h.metrics.detectedCensus().single, 0u);
+  EXPECT_EQ(h.metrics.detectedCensus().idle, 0u);
+}
+
+TEST(Adversarial, BlockerStallsBt) {
+  Harness h(20, 72);
+  addBlocker(h);
+  BinaryTree bt(/*maxSlots=*/20000);
+  EXPECT_FALSE(bt.run(h.engine, h.tags, h.rng));
+  EXPECT_EQ(h.believed(), 0u);
+}
+
+TEST(Adversarial, BlockerStallsFsa) {
+  // The blocker answers in *every* slot of every frame, so no slot is ever
+  // single.
+  Harness h(20, 73);
+  addBlocker(h);
+  FramedSlottedAloha fsa(16, /*maxSlots=*/4096);
+  EXPECT_FALSE(fsa.run(h.engine, h.tags, h.rng));
+  EXPECT_EQ(h.believed(), 0u);
+  EXPECT_EQ(h.metrics.detectedCensus().collided,
+            h.metrics.detectedCensus().total());
+}
+
+TEST(Adversarial, BlockerAloneJamsEverySlot) {
+  // Even with nothing to inventory, the jammer keeps every slot collided,
+  // so the reader never sees the all-idle confirmation frame that would
+  // end the procedure.
+  Harness h(0, 74);
+  addBlocker(h);
+  FramedSlottedAloha fsa(8, /*maxSlots=*/64);
+  EXPECT_FALSE(fsa.run(h.engine, h.tags, h.rng));
+  EXPECT_EQ(h.metrics.detectedCensus().collided, 64u);
+}
+
+TEST(Adversarial, RemovingBlockerRestoresProgress) {
+  Harness h(20, 75);
+  addBlocker(h);
+  FramedSlottedAloha fsa(16, /*maxSlots=*/256);
+  EXPECT_FALSE(fsa.run(h.engine, h.tags, h.rng));
+  // Physically remove the jammer and run a fresh procedure.
+  h.tags.pop_back();
+  for (auto& t : h.tags) {
+    t.resetForRound();
+  }
+  rfid::sim::Metrics clean;
+  rfid::sim::SlotEngine engine2(*h.scheme, *h.channel, clean);
+  FramedSlottedAloha fsa2(16);
+  EXPECT_TRUE(fsa2.run(engine2, h.tags, h.rng));
+  EXPECT_EQ(h.believed(), 20u);
+}
+
+TEST(Adversarial, BlockerNeverGetsIdentifiedItself) {
+  Harness h(5, 76);
+  addBlocker(h);
+  BinaryTree bt(/*maxSlots=*/5000);
+  (void)bt.run(h.engine, h.tags, h.rng);
+  EXPECT_FALSE(h.tags.back().believesIdentified);
+}
+
+}  // namespace

@@ -1,0 +1,104 @@
+// The library must not be hardwired to the EPC 64-bit profile: run the
+// protocol × scheme machinery under alternative air interfaces (short IDs,
+// 16-bit CRC, different τ) and check the timing algebra follows.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "anticollision/bt.hpp"
+#include "anticollision/fsa.hpp"
+#include "anticollision/qt.hpp"
+#include "core/detection_scheme.hpp"
+#include "phy/channel.hpp"
+#include "sim/engine.hpp"
+#include "tags/population.hpp"
+
+namespace {
+
+using rfid::common::Rng;
+using rfid::core::CrcCdScheme;
+using rfid::core::QcdScheme;
+using rfid::phy::AirInterface;
+using rfid::phy::OrChannel;
+
+struct WidthParam {
+  std::size_t idBits;
+  unsigned crcBits;
+  double tau;
+};
+
+class AirWidthTest : public ::testing::TestWithParam<WidthParam> {};
+
+TEST_P(AirWidthTest, QcdFsaIdentifiesEveryTag) {
+  const auto [idBits, crcBits, tau] = GetParam();
+  AirInterface air;
+  air.idBits = idBits;
+  air.crcBits = crcBits;
+  air.tauMicros = tau;
+  const QcdScheme scheme{air, 8};
+  OrChannel channel;
+  Rng rng(31);
+  rfid::sim::Metrics metrics;
+  rfid::sim::SlotEngine engine(scheme, channel, metrics);
+  auto tags = rfid::tags::makeUniformPopulation(60, idBits, rng);
+  rfid::anticollision::FramedSlottedAloha fsa(32);
+  ASSERT_TRUE(fsa.run(engine, tags, rng));
+  EXPECT_EQ(rfid::tags::countBelievedIdentified(tags), 60u);
+  // Timing algebra: single slot = (16 + idBits)·τ.
+  EXPECT_DOUBLE_EQ(scheme.timing().singleBits,
+                   16.0 + static_cast<double>(idBits));
+  EXPECT_DOUBLE_EQ(air.bitsToMicros(scheme.timing().singleBits),
+                   (16.0 + static_cast<double>(idBits)) * tau);
+}
+
+TEST_P(AirWidthTest, CrcCdBtIdentifiesEveryTag) {
+  const auto [idBits, crcBits, tau] = GetParam();
+  AirInterface air;
+  air.idBits = idBits;
+  air.crcBits = crcBits;
+  air.tauMicros = tau;
+  const CrcCdScheme scheme{
+      air, crcBits == 32 ? rfid::crc::crc32() : rfid::crc::crc16Genibus()};
+  OrChannel channel;
+  Rng rng(32);
+  rfid::sim::Metrics metrics;
+  rfid::sim::SlotEngine engine(scheme, channel, metrics);
+  auto tags = rfid::tags::makeUniformPopulation(40, idBits, rng);
+  rfid::anticollision::BinaryTree bt;
+  ASSERT_TRUE(bt.run(engine, tags, rng));
+  EXPECT_EQ(rfid::tags::countBelievedIdentified(tags), 40u);
+  EXPECT_DOUBLE_EQ(scheme.timing().singleBits,
+                   static_cast<double>(idBits + crcBits));
+}
+
+TEST_P(AirWidthTest, QtPrefixMathFollowsIdWidth) {
+  const auto [idBits, crcBits, tau] = GetParam();
+  AirInterface air;
+  air.idBits = idBits;
+  air.crcBits = crcBits;
+  air.tauMicros = tau;
+  const QcdScheme scheme{air, 8};
+  OrChannel channel;
+  Rng rng(33);
+  rfid::sim::Metrics metrics;
+  rfid::sim::SlotEngine engine(scheme, channel, metrics);
+  auto tags = rfid::tags::makeUniformPopulation(30, idBits, rng);
+  rfid::anticollision::QueryTree qt;
+  ASSERT_TRUE(qt.run(engine, tags, rng));
+  EXPECT_EQ(rfid::tags::countBelievedIdentified(tags), 30u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Profiles, AirWidthTest,
+    ::testing::Values(WidthParam{16, 16, 1.0},   // short-ID profile
+                      WidthParam{32, 16, 0.5},   // 32-bit IDs, faster link
+                      WidthParam{48, 32, 1.0},   // MAC-address-sized
+                      WidthParam{64, 32, 1.0},   // paper profile
+                      WidthParam{64, 16, 2.0}),  // EPC CRC-16, slow link
+    [](const auto& paramInfo) {
+      return "id" + std::to_string(paramInfo.param.idBits) + "_crc" +
+             std::to_string(paramInfo.param.crcBits) + "_tau" +
+             std::to_string(static_cast<int>(paramInfo.param.tau * 10));
+    });
+
+}  // namespace

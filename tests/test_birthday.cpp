@@ -1,0 +1,111 @@
+// Bernoulli/birthday discovery: completeness, coupon-collector scaling, p
+// adaptation, and scheme independence.
+#include "anticollision/birthday.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "helpers.hpp"
+
+namespace {
+
+using rfid::anticollision::BirthdayProtocol;
+using rfid::anticollision::birthdayExpectedSlotsCouponCollector;
+using rfid::anticollision::birthdayExpectedSlotsWithSilencing;
+using rfid::common::PreconditionError;
+using rfid::testing::Harness;
+
+TEST(Birthday, DiscoversAllNodes) {
+  for (const std::size_t n : {1u, 5u, 50u, 300u}) {
+    Harness h(n, 91);
+    BirthdayProtocol protocol;
+    EXPECT_TRUE(protocol.run(h.engine, h.tags, h.rng)) << n << " nodes";
+    EXPECT_EQ(h.believed(), n) << n << " nodes";
+  }
+}
+
+TEST(Birthday, EmptyFieldTerminatesAfterQuietPeriod) {
+  Harness h(0, 92);
+  BirthdayProtocol protocol;
+  EXPECT_TRUE(protocol.run(h.engine, h.tags, h.rng));
+  // The listener pays idle slots to conclude the field is empty.
+  EXPECT_GT(h.metrics.detectedCensus().idle, 0u);
+  EXPECT_EQ(h.metrics.detectedCensus().single, 0u);
+}
+
+TEST(Birthday, SlotCountNearSilencingBound) {
+  // Discovered nodes are acknowledged and silenced, so the cost scales as
+  // e·n, not as the no-feedback coupon-collector e·n·H_n; the adaptive p
+  // should land within a small factor of the former and well under the
+  // latter.
+  constexpr std::size_t kNodes = 200;
+  const double bound = birthdayExpectedSlotsWithSilencing(kNodes);
+  double total = 0.0;
+  constexpr int kRounds = 10;
+  for (int r = 0; r < kRounds; ++r) {
+    Harness h(kNodes, 300 + static_cast<std::uint64_t>(r));
+    BirthdayProtocol protocol;
+    EXPECT_TRUE(protocol.run(h.engine, h.tags, h.rng));
+    total += static_cast<double>(h.metrics.detectedCensus().total());
+  }
+  const double mean = total / kRounds;
+  EXPECT_GT(mean, 0.8 * bound);
+  EXPECT_LT(mean, 3.0 * bound);
+  EXPECT_LT(mean, birthdayExpectedSlotsCouponCollector(kNodes));
+}
+
+TEST(Birthday, ExpectedSlotsFormulas) {
+  EXPECT_DOUBLE_EQ(birthdayExpectedSlotsCouponCollector(0), 0.0);
+  // e·1·H_1 = e.
+  EXPECT_NEAR(birthdayExpectedSlotsCouponCollector(1), std::exp(1.0), 1e-12);
+  // Coupon collector is superlinear; the silencing bound is linear.
+  EXPECT_GT(birthdayExpectedSlotsCouponCollector(200) / 200.0,
+            birthdayExpectedSlotsCouponCollector(100) / 100.0);
+  EXPECT_NEAR(birthdayExpectedSlotsWithSilencing(100),
+              100.0 * std::exp(1.0), 1e-9);
+  EXPECT_GT(birthdayExpectedSlotsCouponCollector(100),
+            birthdayExpectedSlotsWithSilencing(100));
+}
+
+TEST(Birthday, WorksUnderEveryScheme) {
+  const rfid::phy::AirInterface air;
+  for (int s = 0; s < 3; ++s) {
+    std::unique_ptr<rfid::core::DetectionScheme> scheme;
+    if (s == 0) scheme = std::make_unique<rfid::core::CrcCdScheme>(air);
+    if (s == 1) scheme = std::make_unique<rfid::core::QcdScheme>(air, 8);
+    if (s == 2) scheme = std::make_unique<rfid::core::IdealScheme>(air);
+    Harness h(60, 93, std::move(scheme));
+    BirthdayProtocol protocol;
+    EXPECT_TRUE(protocol.run(h.engine, h.tags, h.rng)) << s;
+    EXPECT_EQ(h.believed(), 60u) << s;
+  }
+}
+
+TEST(Birthday, BlockerPreventsDiscovery) {
+  Harness h(10, 94);
+  h.tags.push_back(rfid::tags::makeBlockerTag(64));
+  BirthdayProtocol protocol(0.5, 1e-6, /*maxSlots=*/5000);
+  EXPECT_FALSE(protocol.run(h.engine, h.tags, h.rng));
+  EXPECT_EQ(h.believed(), 0u);
+}
+
+TEST(Birthday, ConstructionValidation) {
+  EXPECT_THROW(BirthdayProtocol(0.0), PreconditionError);
+  EXPECT_THROW(BirthdayProtocol(1.5), PreconditionError);
+  EXPECT_THROW(BirthdayProtocol(0.5, 0.0), PreconditionError);
+  EXPECT_THROW(BirthdayProtocol(0.5, 0.6), PreconditionError);
+}
+
+TEST(Birthday, QcdIsCheaperThanCrcCdOnAir) {
+  const rfid::phy::AirInterface air;
+  Harness hq(100, 95, std::make_unique<rfid::core::QcdScheme>(air, 8));
+  Harness hc(100, 95, std::make_unique<rfid::core::CrcCdScheme>(air));
+  BirthdayProtocol p1, p2;
+  EXPECT_TRUE(p1.run(hq.engine, hq.tags, hq.rng));
+  EXPECT_TRUE(p2.run(hc.engine, hc.tags, hc.rng));
+  EXPECT_LT(hq.metrics.totalAirtimeMicros(), hc.metrics.totalAirtimeMicros());
+}
+
+}  // namespace

@@ -1,0 +1,233 @@
+// BitVec: construction, bit access, Boolean-sum semantics, complement,
+// concatenation, slicing, and canonical-form invariants.
+#include "common/bitvec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using rfid::common::BitVec;
+using rfid::common::PreconditionError;
+using rfid::common::Rng;
+
+TEST(BitVec, DefaultIsEmpty) {
+  BitVec v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.empty());
+  EXPECT_TRUE(v.none());
+  EXPECT_FALSE(v.any());
+  EXPECT_TRUE(v.all());  // vacuously
+  EXPECT_EQ(v.popcount(), 0u);
+}
+
+TEST(BitVec, SizedConstructionZeroFilled) {
+  BitVec v(130);
+  EXPECT_EQ(v.size(), 130u);
+  EXPECT_TRUE(v.none());
+  for (std::size_t i = 0; i < 130; ++i) {
+    EXPECT_FALSE(v.test(i));
+  }
+}
+
+TEST(BitVec, SizedConstructionOneFilled) {
+  BitVec v(130, true);
+  EXPECT_TRUE(v.all());
+  EXPECT_EQ(v.popcount(), 130u);
+}
+
+TEST(BitVec, SetAndTest) {
+  BitVec v(70);
+  v.set(0, true);
+  v.set(63, true);
+  v.set(64, true);
+  v.set(69, true);
+  EXPECT_TRUE(v.test(0));
+  EXPECT_TRUE(v.test(63));
+  EXPECT_TRUE(v.test(64));
+  EXPECT_TRUE(v.test(69));
+  EXPECT_FALSE(v.test(1));
+  EXPECT_EQ(v.popcount(), 4u);
+  v.set(63, false);
+  EXPECT_FALSE(v.test(63));
+  EXPECT_EQ(v.popcount(), 3u);
+}
+
+TEST(BitVec, OutOfRangeAccessThrows) {
+  BitVec v(8);
+  EXPECT_THROW(v.test(8), PreconditionError);
+  EXPECT_THROW(v.set(8, true), PreconditionError);
+}
+
+TEST(BitVec, FromUintRoundTrip) {
+  const BitVec v = BitVec::fromUint(0b1011001, 7);
+  EXPECT_EQ(v.size(), 7u);
+  EXPECT_EQ(v.toUint(), 0b1011001u);
+  EXPECT_TRUE(v.test(0));
+  EXPECT_FALSE(v.test(1));
+  EXPECT_TRUE(v.test(6));
+}
+
+TEST(BitVec, FromUintRejectsOverflow) {
+  EXPECT_THROW(BitVec::fromUint(0b100, 2), PreconditionError);
+  EXPECT_NO_THROW(BitVec::fromUint(0b11, 2));
+  EXPECT_THROW(BitVec::fromUint(1, 65), PreconditionError);
+}
+
+TEST(BitVec, FromUint64BitFullWidth) {
+  const std::uint64_t all = ~std::uint64_t{0};
+  const BitVec v = BitVec::fromUint(all, 64);
+  EXPECT_TRUE(v.all());
+  EXPECT_EQ(v.toUint(), all);
+}
+
+TEST(BitVec, StringRoundTrip) {
+  const BitVec v = BitVec::fromString("0110");
+  EXPECT_EQ(v.toString(), "0110");
+  // MSB-first: leftmost char is the highest index.
+  EXPECT_FALSE(v.test(3));
+  EXPECT_TRUE(v.test(2));
+  EXPECT_TRUE(v.test(1));
+  EXPECT_FALSE(v.test(0));
+}
+
+TEST(BitVec, StringRejectsNonBinary) {
+  EXPECT_THROW(BitVec::fromString("01x1"), PreconditionError);
+}
+
+TEST(BitVec, PaperOverlapExample) {
+  // §I: (011001) ∨ (010010) = (011011).
+  const BitVec a = BitVec::fromString("011001");
+  const BitVec b = BitVec::fromString("010010");
+  EXPECT_EQ((a | b).toString(), "011011");
+}
+
+TEST(BitVec, BooleanSumIsCommutativeAssociativeIdempotent) {
+  Rng rng(7);
+  for (int t = 0; t < 50; ++t) {
+    const BitVec a = rng.bitvec(97);
+    const BitVec b = rng.bitvec(97);
+    const BitVec c = rng.bitvec(97);
+    EXPECT_EQ(a | b, b | a);
+    EXPECT_EQ((a | b) | c, a | (b | c));
+    EXPECT_EQ(a | a, a);
+  }
+}
+
+TEST(BitVec, OperatorsRequireEqualSize) {
+  BitVec a(8), b(9);
+  EXPECT_THROW(a |= b, PreconditionError);
+  EXPECT_THROW(a &= b, PreconditionError);
+  EXPECT_THROW(a ^= b, PreconditionError);
+}
+
+TEST(BitVec, AndXorBasics) {
+  const BitVec a = BitVec::fromString("1100");
+  const BitVec b = BitVec::fromString("1010");
+  EXPECT_EQ((a & b).toString(), "1000");
+  EXPECT_EQ((a ^ b).toString(), "0110");
+}
+
+TEST(BitVec, ComplementFlipsEveryBitAndKeepsPaddingClean) {
+  const BitVec v = BitVec::fromString("0110");
+  EXPECT_EQ((~v).toString(), "1001");
+  // Complement of a 70-bit vector must not leak into padding: popcounts add
+  // up to the size.
+  Rng rng(3);
+  const BitVec w = rng.bitvec(70);
+  EXPECT_EQ(w.popcount() + (~w).popcount(), 70u);
+  EXPECT_EQ(~~w, w);
+}
+
+TEST(BitVec, ComplementOfEmptyIsEmpty) {
+  BitVec v;
+  EXPECT_EQ(~v, v);
+}
+
+TEST(BitVec, ConcatPreservesOrder) {
+  const BitVec r = BitVec::fromUint(0b0101, 4);
+  const BitVec c = BitVec::fromUint(0b1010, 4);
+  const BitVec s = r.concat(c);
+  EXPECT_EQ(s.size(), 8u);
+  EXPECT_EQ(s.slice(0, 4), r);
+  EXPECT_EQ(s.slice(4, 4), c);
+}
+
+TEST(BitVec, ConcatAcrossWordBoundaries) {
+  Rng rng(11);
+  for (const std::size_t la : {1u, 7u, 63u, 64u, 65u, 100u}) {
+    for (const std::size_t lb : {1u, 64u, 31u}) {
+      const BitVec a = rng.bitvec(la);
+      const BitVec b = rng.bitvec(lb);
+      const BitVec s = a.concat(b);
+      ASSERT_EQ(s.size(), la + lb);
+      EXPECT_EQ(s.slice(0, la), a);
+      EXPECT_EQ(s.slice(la, lb), b);
+      EXPECT_EQ(s.popcount(), a.popcount() + b.popcount());
+    }
+  }
+}
+
+TEST(BitVec, ConcatWithEmpty) {
+  const BitVec a = BitVec::fromString("101");
+  EXPECT_EQ(a.concat(BitVec{}), a);
+  EXPECT_EQ(BitVec{}.concat(a), a);
+}
+
+TEST(BitVec, SliceValidation) {
+  const BitVec a(10);
+  EXPECT_THROW(a.slice(5, 6), PreconditionError);
+  EXPECT_EQ(a.slice(5, 5).size(), 5u);
+  EXPECT_EQ(a.slice(10, 0).size(), 0u);
+}
+
+TEST(BitVec, SliceUnalignedRandomized) {
+  Rng rng(5);
+  const BitVec v = rng.bitvec(200);
+  for (int t = 0; t < 100; ++t) {
+    const std::size_t pos = rng.below(200);
+    const std::size_t len = rng.below(200 - pos + 1);
+    const BitVec s = v.slice(pos, len);
+    ASSERT_EQ(s.size(), len);
+    for (std::size_t i = 0; i < len; ++i) {
+      EXPECT_EQ(s.test(i), v.test(pos + i));
+    }
+  }
+}
+
+TEST(BitVec, ToUintRequiresAtMost64) {
+  const BitVec v(65);
+  EXPECT_THROW(v.toUint(), PreconditionError);
+  EXPECT_EQ(BitVec{}.toUint(), 0u);
+}
+
+TEST(BitVec, EqualityDependsOnSizeAndContent) {
+  EXPECT_NE(BitVec(4), BitVec(5));
+  EXPECT_EQ(BitVec::fromString("0101"), BitVec::fromString("0101"));
+  EXPECT_NE(BitVec::fromString("0101"), BitVec::fromString("0100"));
+}
+
+TEST(BitVec, HashMostlyCollisionFreeOnRandomInputs) {
+  Rng rng(99);
+  std::unordered_set<std::size_t> hashes;
+  constexpr int kCount = 2000;
+  for (int i = 0; i < kCount; ++i) {
+    hashes.insert(rng.bitvec(96).hash());
+  }
+  // Random 96-bit vectors essentially never collide under a 64-bit hash.
+  EXPECT_GT(hashes.size(), kCount - 3);
+}
+
+TEST(BitVec, UsableInUnorderedSet) {
+  std::unordered_set<BitVec> set;
+  set.insert(BitVec::fromString("01"));
+  set.insert(BitVec::fromString("01"));
+  set.insert(BitVec::fromString("10"));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+}  // namespace

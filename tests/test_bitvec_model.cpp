@@ -1,0 +1,162 @@
+// Differential testing of BitVec against a trivially correct reference
+// model (std::vector<bool>): long random sequences of mixed operations must
+// agree bit for bit. This is the safety net under the signal type every
+// other module builds on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using rfid::common::BitVec;
+using rfid::common::Rng;
+
+/// The reference model: plain bool vector with the same conventions.
+struct Model {
+  std::vector<bool> bits;
+
+  static Model random(std::size_t n, Rng& rng) {
+    Model m;
+    m.bits.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      m.bits[i] = rng.chance(0.5);
+    }
+    return m;
+  }
+  Model orWith(const Model& o) const {
+    Model r = *this;
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+      r.bits[i] = r.bits[i] || o.bits[i];
+    }
+    return r;
+  }
+  Model andWith(const Model& o) const {
+    Model r = *this;
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+      r.bits[i] = r.bits[i] && o.bits[i];
+    }
+    return r;
+  }
+  Model xorWith(const Model& o) const {
+    Model r = *this;
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+      r.bits[i] = r.bits[i] != o.bits[i];
+    }
+    return r;
+  }
+  Model complement() const {
+    Model r = *this;
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+      r.bits[i] = !r.bits[i];
+    }
+    return r;
+  }
+  Model concat(const Model& o) const {
+    Model r = *this;
+    r.bits.insert(r.bits.end(), o.bits.begin(), o.bits.end());
+    return r;
+  }
+  Model slice(std::size_t pos, std::size_t len) const {
+    Model r;
+    r.bits.assign(bits.begin() + static_cast<std::ptrdiff_t>(pos),
+                  bits.begin() + static_cast<std::ptrdiff_t>(pos + len));
+    return r;
+  }
+  std::size_t popcount() const {
+    std::size_t n = 0;
+    for (const bool b : bits) {
+      n += b ? 1 : 0;
+    }
+    return n;
+  }
+};
+
+BitVec toBitVec(const Model& m) {
+  BitVec v(m.bits.size());
+  for (std::size_t i = 0; i < m.bits.size(); ++i) {
+    v.set(i, m.bits[i]);
+  }
+  return v;
+}
+
+void expectEqual(const BitVec& v, const Model& m, const char* what) {
+  ASSERT_EQ(v.size(), m.bits.size()) << what;
+  for (std::size_t i = 0; i < m.bits.size(); ++i) {
+    ASSERT_EQ(v.test(i), m.bits[i]) << what << " bit " << i;
+  }
+  EXPECT_EQ(v.popcount(), m.popcount()) << what;
+}
+
+class BitVecModelTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitVecModelTest, RandomOperationSequencesAgree) {
+  const std::size_t width = GetParam();
+  Rng rng(1000 + width);
+  Model mA = Model::random(width, rng);
+  BitVec vA = toBitVec(mA);
+  expectEqual(vA, mA, "initial");
+
+  for (int step = 0; step < 200; ++step) {
+    const std::uint64_t op = rng.below(6);
+    switch (op) {
+      case 0: {  // OR with a fresh vector
+        const Model mB = Model::random(width, rng);
+        vA |= toBitVec(mB);
+        mA = mA.orWith(mB);
+        break;
+      }
+      case 1: {  // AND
+        const Model mB = Model::random(width, rng);
+        vA &= toBitVec(mB);
+        mA = mA.andWith(mB);
+        break;
+      }
+      case 2: {  // XOR
+        const Model mB = Model::random(width, rng);
+        vA ^= toBitVec(mB);
+        mA = mA.xorWith(mB);
+        break;
+      }
+      case 3: {  // complement
+        vA.flip();
+        mA = mA.complement();
+        break;
+      }
+      case 4: {  // concat then slice back to width (exercises both)
+        if (width == 0) break;
+        const std::size_t extra = rng.below(70) + 1;
+        const Model mB = Model::random(extra, rng);
+        const Model grown = mA.concat(mB);
+        const BitVec grownV = vA.concat(toBitVec(mB));
+        expectEqual(grownV, grown, "concat");
+        const std::size_t pos = rng.below(extra + 1);
+        vA = grownV.slice(pos, width);
+        mA = grown.slice(pos, width);
+        break;
+      }
+      case 5: {  // set / clear a random bit
+        if (width == 0) break;
+        const std::size_t i = rng.below(width);
+        const bool value = rng.chance(0.5);
+        vA.set(i, value);
+        mA.bits[i] = value;
+        break;
+      }
+      default:
+        break;
+    }
+    ASSERT_NO_FATAL_FAILURE(expectEqual(vA, mA, "after step"));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitVecModelTest,
+                         ::testing::Values<std::size_t>(1, 7, 16, 63, 64, 65,
+                                                        96, 128, 200),
+                         [](const auto& paramInfo) {
+                           return "w" + std::to_string(paramInfo.param);
+                         });
+
+}  // namespace

@@ -1,0 +1,97 @@
+// Binary Tree splitting: completeness, Lemma 2 slot statistics, census
+// identities.
+#include "anticollision/bt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "theory/lemmas.hpp"
+
+namespace {
+
+using rfid::anticollision::BinaryTree;
+using rfid::testing::Harness;
+
+TEST(Bt, IdentifiesAllTags) {
+  for (const std::size_t n : {1u, 2u, 10u, 100u, 1000u}) {
+    Harness h(n, 31);
+    BinaryTree bt;
+    EXPECT_TRUE(bt.run(h.engine, h.tags, h.rng)) << n << " tags";
+    EXPECT_EQ(h.believed(), n) << n << " tags";
+  }
+}
+
+TEST(Bt, EmptyPopulation) {
+  Harness h(0, 32);
+  BinaryTree bt;
+  EXPECT_TRUE(bt.run(h.engine, h.tags, h.rng));
+  EXPECT_EQ(h.metrics.detectedCensus().total(), 0u);
+}
+
+TEST(Bt, SingleTagTakesOneSlot) {
+  Harness h(1, 33);
+  BinaryTree bt;
+  EXPECT_TRUE(bt.run(h.engine, h.tags, h.rng));
+  EXPECT_EQ(h.metrics.detectedCensus().total(), 1u);
+  EXPECT_EQ(h.metrics.detectedCensus().single, 1u);
+}
+
+TEST(Bt, SlotStatisticsMatchLemma2) {
+  // Average over rounds; Lemma 2 says 2.885·n total, 1.443·n collided,
+  // 0.442·n idle.
+  constexpr std::size_t kTags = 500;
+  constexpr int kRounds = 20;
+  double total = 0, collided = 0, idle = 0, single = 0;
+  for (int r = 0; r < kRounds; ++r) {
+    Harness h(kTags, 100 + static_cast<std::uint64_t>(r));
+    BinaryTree bt;
+    EXPECT_TRUE(bt.run(h.engine, h.tags, h.rng));
+    total += static_cast<double>(h.metrics.detectedCensus().total());
+    collided += static_cast<double>(h.metrics.detectedCensus().collided);
+    idle += static_cast<double>(h.metrics.detectedCensus().idle);
+    single += static_cast<double>(h.metrics.detectedCensus().single);
+  }
+  const double n = kTags * kRounds;
+  EXPECT_NEAR(total / n, 2.885, 0.1);
+  EXPECT_NEAR(collided / n, 1.443, 0.07);
+  EXPECT_NEAR(idle / n, 0.442, 0.05);
+  EXPECT_NEAR(single / n, 1.0, 0.01);
+}
+
+TEST(Bt, ThroughputNearLemma2Average) {
+  Harness h(2000, 34);
+  BinaryTree bt;
+  EXPECT_TRUE(bt.run(h.engine, h.tags, h.rng));
+  EXPECT_NEAR(h.metrics.throughput(), rfid::theory::btAverageThroughput(),
+              0.02);
+}
+
+TEST(Bt, EverySlotAccountedInCensus) {
+  Harness h(200, 35);
+  BinaryTree bt;
+  EXPECT_TRUE(bt.run(h.engine, h.tags, h.rng));
+  const auto& c = h.metrics.detectedCensus();
+  EXPECT_EQ(c.idle + c.single + c.collided, c.total());
+  // Singles = identified tags (phantoms aside; they are rare at l = 8 but
+  // accounted exactly).
+  EXPECT_EQ(c.single + h.metrics.lostTags() - h.metrics.phantoms(), 200u);
+}
+
+TEST(Bt, CapAborts) {
+  Harness h(100, 36);
+  BinaryTree bt(/*maxSlots=*/5);
+  EXPECT_FALSE(bt.run(h.engine, h.tags, h.rng));
+}
+
+TEST(Bt, DeterministicGivenSeed) {
+  Harness a(64, 37), b(64, 37);
+  BinaryTree bt;
+  EXPECT_TRUE(bt.run(a.engine, a.tags, a.rng));
+  EXPECT_TRUE(bt.run(b.engine, b.tags, b.rng));
+  EXPECT_EQ(a.metrics.detectedCensus().total(),
+            b.metrics.detectedCensus().total());
+  EXPECT_DOUBLE_EQ(a.metrics.totalAirtimeMicros(),
+                   b.metrics.totalAirtimeMicros());
+}
+
+}  // namespace

@@ -1,0 +1,150 @@
+// Cardinality estimation: census inversion math, end-to-end estimation
+// accuracy, read-only behaviour, and the QCD cost advantage.
+#include "anticollision/cardinality.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "helpers.hpp"
+#include "phy/channel.hpp"
+
+namespace {
+
+using rfid::anticollision::CardinalityConfig;
+using rfid::anticollision::CardinalityEstimator;
+using rfid::anticollision::estimateCardinality;
+using rfid::anticollision::invertCensus;
+using rfid::common::PreconditionError;
+using rfid::testing::Harness;
+
+TEST(CardinalityInversion, ZeroEstimatorClosedForm) {
+  // N0 = F·e^-rho; with F = 100 and N0 = 37 → rho = ln(100/37) ≈ 0.9943.
+  const double est = invertCensus(CardinalityEstimator::kZero, 100, 37, 0, 63);
+  EXPECT_NEAR(est, 100.0 * std::log(100.0 / 37.0), 1e-9);
+}
+
+TEST(CardinalityInversion, ZeroEstimatorEdgeCases) {
+  // All idle → zero tags.
+  EXPECT_DOUBLE_EQ(invertCensus(CardinalityEstimator::kZero, 64, 64, 0, 0),
+                   0.0);
+  // No idle slots → the inversion ceiling (64·F).
+  EXPECT_DOUBLE_EQ(invertCensus(CardinalityEstimator::kZero, 64, 0, 0, 64),
+                   64.0 * 64.0);
+}
+
+TEST(CardinalityInversion, SingletonEstimatorRecoversRho) {
+  // N1/F = rho·e^-rho at rho = 0.5 → 0.3033.
+  const auto single = static_cast<std::uint64_t>(
+      std::llround(0.5 * std::exp(-0.5) * 1000.0));
+  const double est = invertCensus(CardinalityEstimator::kSingleton, 1000,
+                                  1000 - single, single, 0);
+  EXPECT_NEAR(est, 500.0, 10.0);
+}
+
+TEST(CardinalityInversion, CollisionEstimatorRecoversRho) {
+  // Nc/F = 1 − e^-rho(1+rho) at rho = 1 → 1 − 2/e ≈ 0.2642.
+  const auto collided = static_cast<std::uint64_t>(
+      std::llround((1.0 - 2.0 / std::exp(1.0)) * 1000.0));
+  const double est = invertCensus(CardinalityEstimator::kCollision, 1000,
+                                  1000 - collided, 0, collided);
+  EXPECT_NEAR(est, 1000.0, 15.0);
+}
+
+TEST(CardinalityInversion, Validation) {
+  EXPECT_THROW(invertCensus(CardinalityEstimator::kZero, 0, 0, 0, 0),
+               PreconditionError);
+  EXPECT_THROW(invertCensus(CardinalityEstimator::kZero, 10, 3, 3, 3),
+               PreconditionError);
+}
+
+class CardinalityEndToEnd
+    : public ::testing::TestWithParam<CardinalityEstimator> {};
+
+TEST_P(CardinalityEndToEnd, EstimatesWithinTenPercent) {
+  constexpr std::size_t kTags = 400;
+  Harness h(kTags, 96);
+  rfid::phy::OrChannel channel;
+  CardinalityConfig cfg;
+  cfg.estimator = GetParam();
+  cfg.frameSize = 512;
+  cfg.probeFrames = 24;
+  const auto est =
+      estimateCardinality(*h.scheme, channel, h.tags, cfg, h.rng);
+  EXPECT_NEAR(est.estimate, static_cast<double>(kTags), 0.10 * kTags)
+      << toString(GetParam());
+  EXPECT_GT(est.probeSlots, 0u);
+  EXPECT_GT(est.airtimeMicros, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Estimators, CardinalityEndToEnd,
+                         ::testing::Values(CardinalityEstimator::kZero,
+                                           CardinalityEstimator::kSingleton,
+                                           CardinalityEstimator::kCollision),
+                         [](const auto& paramInfo) {
+                           std::string n = toString(paramInfo.param);
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(Cardinality, IsReadOnly) {
+  Harness h(100, 97);
+  rfid::phy::OrChannel channel;
+  CardinalityConfig cfg;
+  cfg.frameSize = 64;
+  cfg.probeFrames = 4;
+  (void)estimateCardinality(*h.scheme, channel, h.tags, cfg, h.rng);
+  EXPECT_EQ(h.believed(), 0u);  // probing silences nobody
+}
+
+TEST(Cardinality, QcdProbesAreCheaperThanCrcCd) {
+  const rfid::phy::AirInterface air;
+  // QCD probe frames need no ID phase at all (no ACKs are sent).
+  const rfid::core::QcdScheme qcd{air, 8, /*chargeIdPhase=*/false};
+  const rfid::core::CrcCdScheme crc{air};
+  Harness h(200, 98);
+  rfid::phy::OrChannel channel;
+  CardinalityConfig cfg;
+  cfg.frameSize = 256;
+  cfg.probeFrames = 8;
+  rfid::common::Rng r1(5), r2(5);
+  const auto a = estimateCardinality(qcd, channel, h.tags, cfg, r1);
+  const auto b = estimateCardinality(crc, channel, h.tags, cfg, r2);
+  EXPECT_EQ(a.probeSlots, b.probeSlots);  // identical statistical effort
+  // 16 bits/slot vs 96 bits/slot: exactly 6× cheaper on air.
+  EXPECT_NEAR(b.airtimeMicros / a.airtimeMicros, 6.0, 1e-9);
+}
+
+TEST(Cardinality, MoreProbesShrinkSpread) {
+  Harness h(300, 99);
+  rfid::phy::OrChannel channel;
+  CardinalityConfig few;
+  few.frameSize = 256;
+  few.probeFrames = 4;
+  CardinalityConfig many = few;
+  many.probeFrames = 64;
+  rfid::common::Rng r1(9), r2(9);
+  const auto a = estimateCardinality(*h.scheme, channel, h.tags, few, r1);
+  const auto b = estimateCardinality(*h.scheme, channel, h.tags, many, r2);
+  // Wider averaging gives a more precise (not necessarily more accurate)
+  // estimate: compare the standard error of the mean.
+  EXPECT_LT(b.stddev / std::sqrt(64.0), a.stddev / std::sqrt(4.0) + 1e-9);
+}
+
+TEST(Cardinality, Validation) {
+  Harness h(10, 100);
+  rfid::phy::OrChannel channel;
+  CardinalityConfig cfg;
+  cfg.frameSize = 0;
+  EXPECT_THROW(estimateCardinality(*h.scheme, channel, h.tags, cfg, h.rng),
+               PreconditionError);
+  cfg.frameSize = 16;
+  cfg.probeFrames = 0;
+  EXPECT_THROW(estimateCardinality(*h.scheme, channel, h.tags, cfg, h.rng),
+               PreconditionError);
+}
+
+}  // namespace

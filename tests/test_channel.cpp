@@ -1,0 +1,131 @@
+// Channel models: OR superposition semantics and the capture extension.
+#include "phy/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using rfid::common::BitVec;
+using rfid::common::PreconditionError;
+using rfid::common::Rng;
+using rfid::phy::CaptureChannel;
+using rfid::phy::OrChannel;
+using rfid::phy::Reception;
+
+TEST(OrChannel, EmptyAirIsIdle) {
+  OrChannel ch;
+  Rng rng(1);
+  const Reception r = ch.superpose({}, rng);
+  EXPECT_FALSE(r.signal.has_value());
+  EXPECT_FALSE(r.capturedIndex.has_value());
+}
+
+TEST(OrChannel, SingleTransmissionIsCaptured) {
+  OrChannel ch;
+  Rng rng(2);
+  const std::vector<BitVec> tx = {BitVec::fromString("0110")};
+  const Reception r = ch.superpose(tx, rng);
+  ASSERT_TRUE(r.signal.has_value());
+  EXPECT_EQ(*r.signal, tx[0]);
+  ASSERT_TRUE(r.capturedIndex.has_value());
+  EXPECT_EQ(*r.capturedIndex, 0u);
+}
+
+TEST(OrChannel, SuperposesBooleanSum) {
+  OrChannel ch;
+  Rng rng(3);
+  const std::vector<BitVec> tx = {BitVec::fromString("011001"),
+                                  BitVec::fromString("010010")};
+  const Reception r = ch.superpose(tx, rng);
+  ASSERT_TRUE(r.signal.has_value());
+  EXPECT_EQ(r.signal->toString(), "011011");  // the §I example
+  EXPECT_FALSE(r.capturedIndex.has_value());
+}
+
+TEST(OrChannel, ManyTransmitters) {
+  OrChannel ch;
+  Rng rng(4);
+  std::vector<BitVec> tx;
+  BitVec expected(64);
+  for (int i = 0; i < 10; ++i) {
+    tx.push_back(rng.bitvec(64));
+    expected |= tx.back();
+  }
+  const Reception r = ch.superpose(tx, rng);
+  EXPECT_EQ(*r.signal, expected);
+}
+
+TEST(OrChannel, RejectsMismatchedLengths) {
+  OrChannel ch;
+  Rng rng(5);
+  const std::vector<BitVec> tx = {BitVec(4), BitVec(5)};
+  EXPECT_THROW(ch.superpose(tx, rng), PreconditionError);
+}
+
+TEST(CaptureChannel, ZeroProbabilityBehavesLikeOr) {
+  CaptureChannel ch(0.0);
+  Rng rng(6);
+  const std::vector<BitVec> tx = {BitVec::fromString("1100"),
+                                  BitVec::fromString("0011")};
+  const Reception r = ch.superpose(tx, rng);
+  EXPECT_EQ(r.signal->toString(), "1111");
+  EXPECT_FALSE(r.capturedIndex.has_value());
+}
+
+TEST(CaptureChannel, CertainCaptureDeliversOneCleanSignal) {
+  CaptureChannel ch(1.0);
+  Rng rng(7);
+  const std::vector<BitVec> tx = {BitVec::fromString("1100"),
+                                  BitVec::fromString("0011")};
+  for (int t = 0; t < 20; ++t) {
+    const Reception r = ch.superpose(tx, rng);
+    ASSERT_TRUE(r.capturedIndex.has_value());
+    EXPECT_EQ(*r.signal, tx[*r.capturedIndex]);
+  }
+}
+
+TEST(CaptureChannel, CaptureRateMatchesProbability) {
+  CaptureChannel ch(0.3);
+  Rng rng(8);
+  const std::vector<BitVec> tx = {BitVec(8, true), BitVec(8, true),
+                                  BitVec(8, true)};
+  int captured = 0;
+  constexpr int kN = 20000;
+  for (int t = 0; t < kN; ++t) {
+    if (ch.superpose(tx, rng).capturedIndex.has_value()) ++captured;
+  }
+  EXPECT_NEAR(static_cast<double>(captured) / kN, 0.3, 0.02);
+}
+
+TEST(CaptureChannel, SingleTransmitterAlwaysClean) {
+  CaptureChannel ch(0.0);
+  Rng rng(9);
+  const std::vector<BitVec> tx = {BitVec::fromString("101")};
+  const Reception r = ch.superpose(tx, rng);
+  ASSERT_TRUE(r.capturedIndex.has_value());
+  EXPECT_EQ(*r.capturedIndex, 0u);
+}
+
+TEST(CaptureChannel, WinnerIsRoughlyUniform) {
+  CaptureChannel ch(1.0);
+  Rng rng(10);
+  const std::vector<BitVec> tx = {BitVec(4, true), BitVec(4, true)};
+  int first = 0;
+  constexpr int kN = 10000;
+  for (int t = 0; t < kN; ++t) {
+    if (*ch.superpose(tx, rng).capturedIndex == 0) ++first;
+  }
+  EXPECT_NEAR(static_cast<double>(first) / kN, 0.5, 0.03);
+}
+
+TEST(CaptureChannel, RejectsInvalidProbability) {
+  EXPECT_THROW(CaptureChannel{-0.1}, PreconditionError);
+  EXPECT_THROW(CaptureChannel{1.1}, PreconditionError);
+}
+
+}  // namespace

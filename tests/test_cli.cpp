@@ -1,0 +1,109 @@
+// ArgParser: flag declaration, parsing forms, type checking, env override.
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/require.hpp"
+
+namespace {
+
+using rfid::common::ArgParser;
+using rfid::common::envOr;
+using rfid::common::PreconditionError;
+
+ArgParser makeParser() {
+  ArgParser p("demo", "test parser");
+  p.addInt("tags", 50, "number of tags")
+      .addDouble("tau", 1.0, "bit time")
+      .addString("scheme", "qcd", "detection scheme")
+      .addBool("verbose", false, "chatty output");
+  return p;
+}
+
+TEST(ArgParser, DefaultsApplyWithoutArgs) {
+  ArgParser p = makeParser();
+  const char* argv[] = {"demo"};
+  EXPECT_TRUE(p.parse(1, argv));
+  EXPECT_EQ(p.getInt("tags"), 50);
+  EXPECT_DOUBLE_EQ(p.getDouble("tau"), 1.0);
+  EXPECT_EQ(p.getString("scheme"), "qcd");
+  EXPECT_FALSE(p.getBool("verbose"));
+}
+
+TEST(ArgParser, EqualsForm) {
+  ArgParser p = makeParser();
+  const char* argv[] = {"demo", "--tags=500", "--tau=0.5", "--scheme=crc",
+                        "--verbose=true"};
+  EXPECT_TRUE(p.parse(5, argv));
+  EXPECT_EQ(p.getInt("tags"), 500);
+  EXPECT_DOUBLE_EQ(p.getDouble("tau"), 0.5);
+  EXPECT_EQ(p.getString("scheme"), "crc");
+  EXPECT_TRUE(p.getBool("verbose"));
+}
+
+TEST(ArgParser, SpaceSeparatedForm) {
+  ArgParser p = makeParser();
+  const char* argv[] = {"demo", "--tags", "5000"};
+  EXPECT_TRUE(p.parse(3, argv));
+  EXPECT_EQ(p.getInt("tags"), 5000);
+}
+
+TEST(ArgParser, BareBoolEnables) {
+  ArgParser p = makeParser();
+  const char* argv[] = {"demo", "--verbose"};
+  EXPECT_TRUE(p.parse(2, argv));
+  EXPECT_TRUE(p.getBool("verbose"));
+}
+
+TEST(ArgParser, HelpReturnsFalse) {
+  ArgParser p = makeParser();
+  const char* argv[] = {"demo", "--help"};
+  EXPECT_FALSE(p.parse(2, argv));
+  EXPECT_NE(p.helpText().find("--tags"), std::string::npos);
+}
+
+TEST(ArgParser, UnknownFlagThrows) {
+  ArgParser p = makeParser();
+  const char* argv[] = {"demo", "--bogus=1"};
+  EXPECT_THROW(p.parse(2, argv), PreconditionError);
+}
+
+TEST(ArgParser, MalformedValuesThrow) {
+  {
+    ArgParser p = makeParser();
+    const char* argv[] = {"demo", "--tags=abc"};
+    EXPECT_THROW(p.parse(2, argv), PreconditionError);
+  }
+  {
+    ArgParser p = makeParser();
+    const char* argv[] = {"demo", "--verbose=maybe"};
+    EXPECT_THROW(p.parse(2, argv), PreconditionError);
+  }
+  {
+    ArgParser p = makeParser();
+    const char* argv[] = {"demo", "--tags"};
+    EXPECT_THROW(p.parse(2, argv), PreconditionError);
+  }
+}
+
+TEST(ArgParser, TypeMismatchOnAccessThrows) {
+  ArgParser p = makeParser();
+  const char* argv[] = {"demo"};
+  EXPECT_TRUE(p.parse(1, argv));
+  EXPECT_THROW(p.getInt("scheme"), PreconditionError);
+  EXPECT_THROW(p.getBool("tags"), PreconditionError);
+  EXPECT_THROW(p.getInt("never-declared"), PreconditionError);
+}
+
+TEST(EnvOr, ReadsAndFallsBack) {
+  ::setenv("RFID_TEST_ENV", "123", 1);
+  EXPECT_EQ(envOr("RFID_TEST_ENV", 7), 123u);
+  ::setenv("RFID_TEST_ENV", "notanumber", 1);
+  EXPECT_EQ(envOr("RFID_TEST_ENV", 7), 7u);
+  ::unsetenv("RFID_TEST_ENV");
+  EXPECT_EQ(envOr("RFID_TEST_ENV", 7), 7u);
+}
+
+}  // namespace

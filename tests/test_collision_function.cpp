@@ -1,0 +1,116 @@
+// Definition 1 and Theorem 1: the complement is a collision function, and
+// the instructive non-examples are not.
+#include "core/collision_function.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using rfid::common::BitVec;
+using rfid::common::PreconditionError;
+using rfid::common::Rng;
+using rfid::core::complementFn;
+using rfid::core::flagsCollision;
+using rfid::core::identityFn;
+using rfid::core::isCollisionFunctionExhaustivePairs;
+using rfid::core::isCollisionFunctionSampled;
+using rfid::core::reverseFn;
+
+TEST(CollisionFunction, SingleResponderIsNeverFlagged) {
+  Rng rng(41);
+  for (int t = 0; t < 200; ++t) {
+    const BitVec r = BitVec::fromUint(rng.between(1, 255), 8);
+    const BitVec set[] = {r};
+    EXPECT_FALSE(flagsCollision(complementFn, set));
+  }
+}
+
+TEST(CollisionFunction, TwoDistinctResponcesAlwaysFlagged) {
+  Rng rng(42);
+  for (int t = 0; t < 500; ++t) {
+    const std::uint64_t a = rng.between(1, 255);
+    std::uint64_t b = rng.between(1, 255);
+    if (b == a) b = (b % 255) + 1 == a ? ((b + 1) % 255) + 1 : (b % 255) + 1;
+    if (b == a) continue;
+    const BitVec set[] = {BitVec::fromUint(a, 8), BitVec::fromUint(b, 8)};
+    EXPECT_TRUE(flagsCollision(complementFn, set)) << a << " vs " << b;
+  }
+}
+
+TEST(CollisionFunction, IdenticalValuesEvadeDetection) {
+  // The weak assumption of §IV-B: if every colliding tag drew the same r,
+  // the superposition is indistinguishable from a single reply.
+  const BitVec r = BitVec::fromUint(0b1010, 4);
+  const std::vector<BitVec> set = {r, r, r};
+  EXPECT_FALSE(flagsCollision(complementFn, set));
+}
+
+TEST(CollisionFunction, ComplementIsCollisionFunctionExhaustively) {
+  for (const unsigned width : {1u, 2u, 4u, 6u, 8u}) {
+    EXPECT_TRUE(isCollisionFunctionExhaustivePairs(complementFn, width))
+        << "width " << width;
+  }
+}
+
+TEST(CollisionFunction, ComplementSurvivesSampledSetsAtRealisticWidths) {
+  Rng rng(43);
+  for (const unsigned width : {8u, 16u, 32u, 64u}) {
+    EXPECT_TRUE(
+        isCollisionFunctionSampled(complementFn, width, 16, 2000, rng))
+        << "width " << width;
+  }
+}
+
+TEST(CollisionFunction, IdentityIsNotACollisionFunction) {
+  EXPECT_FALSE(isCollisionFunctionExhaustivePairs(identityFn, 4));
+  // Concretely: f(a ∨ b) = a ∨ b = f(a) ∨ f(b) for every pair.
+  const BitVec set[] = {BitVec::fromUint(0b01, 2), BitVec::fromUint(0b10, 2)};
+  EXPECT_FALSE(flagsCollision(identityFn, set));
+}
+
+TEST(CollisionFunction, BitReversalIsNotACollisionFunction) {
+  // Any bit permutation distributes over OR, so it cannot detect anything.
+  EXPECT_FALSE(isCollisionFunctionExhaustivePairs(reverseFn, 4));
+  Rng rng(44);
+  const BitVec a = rng.bitvec(8);
+  const BitVec b = rng.bitvec(8);
+  EXPECT_EQ(reverseFn(a | b), reverseFn(a) | reverseFn(b));
+}
+
+TEST(CollisionFunction, TheoremOneKthBitArgument) {
+  // The proof's witness: at a bit position where rᵢ and rⱼ differ, the OR
+  // of the values is 1 (so the complement of the OR is 0) while the OR of
+  // the complements is 1.
+  Rng rng(45);
+  for (int t = 0; t < 200; ++t) {
+    const std::uint64_t a = rng.between(1, 0xFFFF);
+    const std::uint64_t b = rng.between(1, 0xFFFF);
+    if (a == b) continue;
+    const BitVec va = BitVec::fromUint(a, 16);
+    const BitVec vb = BitVec::fromUint(b, 16);
+    const BitVec diff = va ^ vb;
+    ASSERT_TRUE(diff.any());
+    std::size_t k = 0;
+    while (!diff.test(k)) ++k;
+    EXPECT_FALSE((~(va | vb)).test(k));
+    EXPECT_TRUE(((~va) | (~vb)).test(k));
+  }
+}
+
+TEST(CollisionFunction, Validation) {
+  EXPECT_THROW(flagsCollision(complementFn, {}), PreconditionError);
+  EXPECT_THROW(isCollisionFunctionExhaustivePairs(complementFn, 13),
+               PreconditionError);
+  Rng rng(46);
+  EXPECT_THROW(isCollisionFunctionSampled(complementFn, 0, 4, 10, rng),
+               PreconditionError);
+  EXPECT_THROW(isCollisionFunctionSampled(complementFn, 8, 1, 10, rng),
+               PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,78 @@
+// Cost model backing Table IV: CRC-CD vs QCD on instructions, memory and
+// airtime.
+#include "crc/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+
+namespace {
+
+using rfid::common::PreconditionError;
+using rfid::crc::CrcEngine;
+using rfid::crc::crcCdCost;
+using rfid::crc::DetectionCost;
+using rfid::crc::qcdCost;
+
+TEST(CostModel, CrcCdNeedsMoreThan100Instructions) {
+  // Table IV: "More than 100 instructions" for the paper's 64-bit ID.
+  const CrcEngine engine(rfid::crc::crc32());
+  const DetectionCost cost = crcCdCost(engine, 64);
+  EXPECT_GT(cost.instructions, 100u);
+  EXPECT_EQ(cost.complexity, "O(l)");
+}
+
+TEST(CostModel, CrcCdMemoryIsOneKilobyte) {
+  const CrcEngine engine(rfid::crc::crc32());
+  const DetectionCost cost = crcCdCost(engine, 64);
+  EXPECT_EQ(cost.memoryBits, 8u * 1024u);  // Table IV: 1KB
+}
+
+TEST(CostModel, CrcCdAirtimeIs96BitsEverySlot) {
+  const CrcEngine engine(rfid::crc::crc32());
+  const DetectionCost cost = crcCdCost(engine, 64);
+  EXPECT_EQ(cost.airtimeBitsNonSingle, 96u);  // Table IV: 96 bits
+  EXPECT_EQ(cost.airtimeBitsSingle, 96u);
+}
+
+TEST(CostModel, QcdIsOneInstructionConstantComplexity) {
+  const DetectionCost cost = qcdCost(8, 64);
+  EXPECT_EQ(cost.instructions, 1u);  // Table IV: "Only 1 instruction"
+  EXPECT_EQ(cost.complexity, "O(1)");
+}
+
+TEST(CostModel, QcdMemoryAndAirtimeAt8Bit) {
+  const DetectionCost cost = qcdCost(8, 64);
+  EXPECT_EQ(cost.memoryBits, 16u);           // Table IV: 16 bits
+  EXPECT_EQ(cost.airtimeBitsNonSingle, 16u);  // Table IV: 16 bits
+  EXPECT_EQ(cost.airtimeBitsSingle, 16u + 64u);
+}
+
+TEST(CostModel, QcdScalesWithStrength) {
+  for (unsigned l = 1; l <= 64; l *= 2) {
+    const DetectionCost cost = qcdCost(l, 64);
+    EXPECT_EQ(cost.memoryBits, 2ull * l);
+    EXPECT_EQ(cost.airtimeBitsNonSingle, 2ull * l);
+    EXPECT_EQ(cost.instructions, 1u);
+  }
+}
+
+TEST(CostModel, CrcInstructionCountGrowsWithIdLength) {
+  const CrcEngine engine(rfid::crc::crc32());
+  const DetectionCost short64 = crcCdCost(engine, 64);
+  const DetectionCost long128 = crcCdCost(engine, 128);
+  EXPECT_GT(long128.instructions, short64.instructions);
+  // O(l): roughly proportional.
+  EXPECT_NEAR(static_cast<double>(long128.instructions) /
+                  static_cast<double>(short64.instructions),
+              2.0, 0.1);
+}
+
+TEST(CostModel, Validation) {
+  const CrcEngine engine(rfid::crc::crc32());
+  EXPECT_THROW(crcCdCost(engine, 0), PreconditionError);
+  EXPECT_THROW(qcdCost(0, 64), PreconditionError);
+  EXPECT_THROW(qcdCost(65, 64), PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,161 @@
+// The experiment layer: aggregation identities, determinism, scheme/protocol
+// factories, and small-scale sanity of the paper-facing metrics.
+#include "anticollision/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+#include "theory/lemmas.hpp"
+
+namespace {
+
+using rfid::anticollision::AggregateResult;
+using rfid::anticollision::ExperimentConfig;
+using rfid::anticollision::makeProtocol;
+using rfid::anticollision::makeScheme;
+using rfid::anticollision::ProtocolKind;
+using rfid::anticollision::runExperiment;
+using rfid::anticollision::SchemeKind;
+using rfid::common::PreconditionError;
+
+ExperimentConfig smallConfig() {
+  ExperimentConfig cfg;
+  cfg.tagCount = 50;
+  cfg.frameSize = 30;
+  cfg.rounds = 10;
+  cfg.seed = 7;
+  cfg.threads = 1;
+  return cfg;
+}
+
+TEST(Experiment, RunsAndAggregates) {
+  const AggregateResult r = runExperiment(smallConfig());
+  EXPECT_EQ(r.totalSlots.count(), 10u);
+  EXPECT_EQ(r.completedRounds, 10u);
+  EXPECT_GT(r.throughput.mean(), 0.1);
+  EXPECT_LT(r.throughput.mean(), 0.5);
+  EXPECT_GT(r.airtimeMicros.mean(), 0.0);
+  EXPECT_GT(r.meanDelayMicros.mean(), 0.0);
+}
+
+TEST(Experiment, DeterministicGivenSeed) {
+  const AggregateResult a = runExperiment(smallConfig());
+  const AggregateResult b = runExperiment(smallConfig());
+  EXPECT_DOUBLE_EQ(a.totalSlots.mean(), b.totalSlots.mean());
+  EXPECT_DOUBLE_EQ(a.airtimeMicros.mean(), b.airtimeMicros.mean());
+  EXPECT_DOUBLE_EQ(a.throughput.mean(), b.throughput.mean());
+}
+
+TEST(Experiment, ThreadCountDoesNotChangeResults) {
+  ExperimentConfig cfg = smallConfig();
+  cfg.threads = 1;
+  const AggregateResult serial = runExperiment(cfg);
+  cfg.threads = 4;
+  const AggregateResult parallel = runExperiment(cfg);
+  EXPECT_DOUBLE_EQ(serial.totalSlots.mean(), parallel.totalSlots.mean());
+  EXPECT_DOUBLE_EQ(serial.airtimeMicros.mean(),
+                   parallel.airtimeMicros.mean());
+}
+
+TEST(Experiment, CensusIdentity) {
+  const AggregateResult r = runExperiment(smallConfig());
+  EXPECT_NEAR(
+      r.idleSlots.mean() + r.singleSlots.mean() + r.collidedSlots.mean(),
+      r.totalSlots.mean(), 1e-9);
+}
+
+TEST(Experiment, CrcCdTakesMoreAirtimeThanQcd) {
+  ExperimentConfig qcd = smallConfig();
+  ExperimentConfig crc = smallConfig();
+  crc.scheme = SchemeKind::kCrcCd;
+  const double tQcd = runExperiment(qcd).airtimeMicros.mean();
+  const double tCrc = runExperiment(crc).airtimeMicros.mean();
+  EXPECT_GT(tCrc, tQcd);
+  // §VI-E: QCD-based FSAs spend less than half the transmission time.
+  EXPECT_GT(rfid::theory::eiFromTimes(tCrc, tQcd), 0.5);
+}
+
+TEST(Experiment, IdealSchemeIsTheLowerBound) {
+  ExperimentConfig ideal = smallConfig();
+  ideal.scheme = SchemeKind::kIdeal;
+  const double tIdeal = runExperiment(ideal).airtimeMicros.mean();
+  const double tQcd = runExperiment(smallConfig()).airtimeMicros.mean();
+  EXPECT_LT(tIdeal, tQcd);
+}
+
+TEST(Experiment, BtCensusNearLemma2) {
+  ExperimentConfig cfg = smallConfig();
+  cfg.protocol = ProtocolKind::kBt;
+  cfg.tagCount = 200;
+  const AggregateResult r = runExperiment(cfg);
+  EXPECT_NEAR(r.totalSlots.mean() / 200.0, 2.885, 0.25);
+  EXPECT_NEAR(r.throughput.mean(), 0.35, 0.02);
+}
+
+TEST(Experiment, AccuracyImprovesWithStrength) {
+  ExperimentConfig weak = smallConfig();
+  weak.qcdStrength = 2;
+  weak.tagCount = 200;
+  weak.frameSize = 120;
+  ExperimentConfig strong = weak;
+  strong.qcdStrength = 16;
+  const double accWeak = runExperiment(weak).detectionAccuracy.mean();
+  const double accStrong = runExperiment(strong).detectionAccuracy.mean();
+  EXPECT_LT(accWeak, accStrong);
+  EXPECT_GT(accStrong, 0.999);
+}
+
+TEST(Experiment, CaptureChannelShortensIdentification) {
+  ExperimentConfig pure = smallConfig();
+  ExperimentConfig capture = smallConfig();
+  capture.captureProbability = 0.5;
+  const AggregateResult a = runExperiment(pure);
+  const AggregateResult b = runExperiment(capture);
+  // Capture converts collisions into successes: fewer slots overall.
+  EXPECT_LT(b.totalSlots.mean(), a.totalSlots.mean());
+}
+
+TEST(Experiment, FactoriesProduceEveryKind) {
+  const rfid::phy::AirInterface air;
+  for (const auto kind :
+       {SchemeKind::kCrcCd, SchemeKind::kQcd, SchemeKind::kIdeal}) {
+    EXPECT_NE(makeScheme(kind, 8, air), nullptr);
+  }
+  for (const auto kind :
+       {ProtocolKind::kFsa, ProtocolKind::kDfsaLowerBound,
+        ProtocolKind::kDfsaSchoute, ProtocolKind::kDfsaVogt,
+        ProtocolKind::kQAdaptive, ProtocolKind::kBt, ProtocolKind::kAbs,
+        ProtocolKind::kQt, ProtocolKind::kAqs}) {
+    EXPECT_NE(makeProtocol(kind, 32, 100000), nullptr);
+  }
+}
+
+TEST(Experiment, IdPhaseAccountingKnobFlowsThrough) {
+  // Fig. 6 reproduction path: without the ID phase, QCD single slots cost
+  // 2l bit-times, so the same protocol runs produce strictly less airtime.
+  ExperimentConfig full = smallConfig();
+  ExperimentConfig paperConvention = smallConfig();
+  paperConvention.qcdChargeIdPhase = false;
+  const double tFull = runExperiment(full).airtimeMicros.mean();
+  const double tPaper = runExperiment(paperConvention).airtimeMicros.mean();
+  EXPECT_LT(tPaper, tFull);
+  // Identical slot structure — only the pricing differs.
+  EXPECT_DOUBLE_EQ(runExperiment(full).totalSlots.mean(),
+                   runExperiment(paperConvention).totalSlots.mean());
+}
+
+TEST(Experiment, RejectsZeroRounds) {
+  ExperimentConfig cfg = smallConfig();
+  cfg.rounds = 0;
+  EXPECT_THROW(runExperiment(cfg), PreconditionError);
+}
+
+TEST(Experiment, ToStringCoverage) {
+  using rfid::anticollision::toString;
+  EXPECT_EQ(toString(SchemeKind::kQcd), "QCD");
+  EXPECT_EQ(toString(SchemeKind::kCrcCd), "CRC-CD");
+  EXPECT_EQ(toString(ProtocolKind::kBt), "BT");
+  EXPECT_EQ(toString(ProtocolKind::kDfsaVogt), "DFSA/Vogt");
+}
+
+}  // namespace

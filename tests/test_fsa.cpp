@@ -1,0 +1,122 @@
+// Framed Slotted ALOHA: completeness, frame accounting, throughput against
+// Lemma 1, and slot-census identities.
+#include "anticollision/fsa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+#include "helpers.hpp"
+#include "theory/lemmas.hpp"
+
+namespace {
+
+using rfid::anticollision::FramedSlottedAloha;
+using rfid::common::PreconditionError;
+using rfid::testing::Harness;
+
+TEST(Fsa, IdentifiesAllTags) {
+  Harness h(100, 1);
+  FramedSlottedAloha fsa(100);
+  EXPECT_TRUE(fsa.run(h.engine, h.tags, h.rng));
+  EXPECT_EQ(h.believed(), 100u);
+  EXPECT_GE(h.correct(), 99u);  // an evasion at l = 8 is already rare
+}
+
+TEST(Fsa, EmptyPopulationCostsOneConfirmationFrame) {
+  // The reader cannot observe ground truth: it learns the field is empty
+  // only by paying one all-idle frame.
+  Harness h(0, 2);
+  FramedSlottedAloha fsa(16);
+  EXPECT_TRUE(fsa.run(h.engine, h.tags, h.rng));
+  EXPECT_EQ(h.metrics.detectedCensus().total(), 16u);
+  EXPECT_EQ(h.metrics.detectedCensus().idle, 16u);
+  EXPECT_EQ(h.metrics.frames(), 1u);
+}
+
+TEST(Fsa, SingleTagSingleSlotFrame) {
+  Harness h(1, 3);
+  FramedSlottedAloha fsa(1);
+  EXPECT_TRUE(fsa.run(h.engine, h.tags, h.rng));
+  EXPECT_EQ(h.metrics.detectedCensus().single, 1u);
+  // One identification frame plus the all-idle confirmation frame.
+  EXPECT_EQ(h.metrics.detectedCensus().idle, 1u);
+  EXPECT_EQ(h.metrics.detectedCensus().total(), 2u);
+  EXPECT_EQ(h.metrics.frames(), 2u);
+}
+
+TEST(Fsa, SlotCountIsMultipleOfFrameSize) {
+  Harness h(60, 4);
+  FramedSlottedAloha fsa(32);
+  EXPECT_TRUE(fsa.run(h.engine, h.tags, h.rng));
+  EXPECT_EQ(h.metrics.detectedCensus().total() % 32, 0u);
+  EXPECT_EQ(h.metrics.detectedCensus().total(),
+            h.metrics.frames() * 32u);
+}
+
+TEST(Fsa, TerminalFrameIsAllIdle) {
+  // The last frame of any successful run drew no responses.
+  Harness h(40, 9);
+  FramedSlottedAloha fsa(32);
+  EXPECT_TRUE(fsa.run(h.engine, h.tags, h.rng));
+  EXPECT_GE(h.metrics.detectedCensus().idle, 32u);
+  EXPECT_GE(h.metrics.frames(), 2u);
+}
+
+TEST(Fsa, CensusAccountsForEveryTag) {
+  Harness h(200, 5);
+  FramedSlottedAloha fsa(128);
+  EXPECT_TRUE(fsa.run(h.engine, h.tags, h.rng));
+  // Every believed identification came from a detected single slot.
+  EXPECT_EQ(h.metrics.identified(), 200u);
+  EXPECT_GE(h.metrics.detectedCensus().single, h.metrics.phantoms());
+  EXPECT_EQ(h.metrics.detectedCensus().single + h.metrics.lostTags() -
+                h.metrics.phantoms(),
+            200u);
+}
+
+TEST(Fsa, FirstFrameThroughputNearLemma1AtOptimalSize) {
+  // Average the first-frame census over rounds at F = n: the expected
+  // single-slot fraction is 1/e.
+  // Cap the run at exactly one frame and look at its census.
+  constexpr std::size_t kTags = 500;
+  double singles = 0.0;
+  constexpr int kRounds = 30;
+  for (int r = 0; r < kRounds; ++r) {
+    Harness h1(kTags, 200 + static_cast<std::uint64_t>(r));
+    FramedSlottedAloha oneFrame(kTags, /*maxSlots=*/kTags);
+    (void)oneFrame.run(h1.engine, h1.tags, h1.rng);  // aborts at the cap
+    singles += static_cast<double>(h1.metrics.detectedCensus().single);
+  }
+  const double perSlot = singles / (kRounds * static_cast<double>(kTags));
+  EXPECT_NEAR(perSlot, rfid::theory::fsaMaxThroughput(), 0.02);
+}
+
+TEST(Fsa, RejectsZeroFrame) {
+  EXPECT_THROW(FramedSlottedAloha{0}, PreconditionError);
+}
+
+TEST(Fsa, CapAbortsAndReportsFalse) {
+  Harness h(50, 6);
+  FramedSlottedAloha fsa(8, /*maxSlots=*/8);  // one frame only
+  EXPECT_FALSE(fsa.run(h.engine, h.tags, h.rng));
+  EXPECT_LT(h.believed(), 50u);
+  EXPECT_EQ(h.metrics.detectedCensus().total(), 8u);
+}
+
+TEST(Fsa, DelaysAreRecordedForEveryTag) {
+  Harness h(80, 7);
+  FramedSlottedAloha fsa(64);
+  EXPECT_TRUE(fsa.run(h.engine, h.tags, h.rng));
+  EXPECT_EQ(h.metrics.delaysMicros().size(), 80u);
+  for (const double d : h.metrics.delaysMicros()) {
+    EXPECT_GT(d, 0.0);
+    EXPECT_LE(d, h.metrics.nowMicros());
+  }
+}
+
+TEST(Fsa, NameIncludesFrameSize) {
+  EXPECT_EQ(FramedSlottedAloha(30).frameSize(), 30u);
+  EXPECT_EQ(FramedSlottedAloha(30).name(), "FSA[F=30]");
+}
+
+}  // namespace

@@ -1,0 +1,116 @@
+// Metrics: census accounting identities, confusion matrix, derived metrics
+// (throughput, accuracy, UR) against hand-computed values.
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using rfid::phy::SlotType;
+using rfid::sim::Metrics;
+using rfid::sim::SlotCensus;
+
+TEST(SlotCensus, BumpAndTotal) {
+  SlotCensus c;
+  c.bump(SlotType::kIdle);
+  c.bump(SlotType::kSingle);
+  c.bump(SlotType::kSingle);
+  c.bump(SlotType::kCollided);
+  EXPECT_EQ(c.idle, 1u);
+  EXPECT_EQ(c.single, 2u);
+  EXPECT_EQ(c.collided, 1u);
+  EXPECT_EQ(c.total(), 4u);
+}
+
+TEST(Metrics, RecordSlotAdvancesClockAndAirtime) {
+  Metrics m;
+  EXPECT_DOUBLE_EQ(m.nowMicros(), 0.0);
+  m.recordSlot(SlotType::kIdle, SlotType::kIdle, 16.0);
+  m.recordSlot(SlotType::kSingle, SlotType::kSingle, 80.0);
+  EXPECT_DOUBLE_EQ(m.nowMicros(), 96.0);
+  EXPECT_DOUBLE_EQ(m.totalAirtimeMicros(), 96.0);
+}
+
+TEST(Metrics, CensusesAndConfusion) {
+  Metrics m;
+  m.recordSlot(SlotType::kCollided, SlotType::kSingle, 1.0);  // misdetection
+  m.recordSlot(SlotType::kCollided, SlotType::kCollided, 1.0);
+  m.recordSlot(SlotType::kIdle, SlotType::kIdle, 1.0);
+  EXPECT_EQ(m.trueCensus().collided, 2u);
+  EXPECT_EQ(m.detectedCensus().collided, 1u);
+  EXPECT_EQ(m.detectedCensus().single, 1u);
+  const auto& conf = m.confusion();
+  EXPECT_EQ(conf[2][1], 1u);  // collided detected as single
+  EXPECT_EQ(conf[2][2], 1u);
+  EXPECT_EQ(conf[0][0], 1u);
+}
+
+TEST(Metrics, ThroughputOverDetectedCensus) {
+  Metrics m;
+  m.recordSlot(SlotType::kSingle, SlotType::kSingle, 1.0);
+  m.recordSlot(SlotType::kIdle, SlotType::kIdle, 1.0);
+  m.recordSlot(SlotType::kCollided, SlotType::kCollided, 1.0);
+  m.recordSlot(SlotType::kCollided, SlotType::kCollided, 1.0);
+  EXPECT_DOUBLE_EQ(m.throughput(), 0.25);
+}
+
+TEST(Metrics, ThroughputOfEmptyRunIsZero) {
+  Metrics m;
+  EXPECT_DOUBLE_EQ(m.throughput(), 0.0);
+}
+
+TEST(Metrics, CollisionDetectionAccuracy) {
+  Metrics m;
+  // 3 true collisions: 2 flagged, 1 read as single.
+  m.recordSlot(SlotType::kCollided, SlotType::kCollided, 1.0);
+  m.recordSlot(SlotType::kCollided, SlotType::kCollided, 1.0);
+  m.recordSlot(SlotType::kCollided, SlotType::kSingle, 1.0);
+  EXPECT_DOUBLE_EQ(m.collisionDetectionAccuracy(), 2.0 / 3.0);
+}
+
+TEST(Metrics, AccuracyIsOneWithoutCollisions) {
+  Metrics m;
+  m.recordSlot(SlotType::kIdle, SlotType::kIdle, 1.0);
+  EXPECT_DOUBLE_EQ(m.collisionDetectionAccuracy(), 1.0);
+}
+
+TEST(Metrics, UtilizationRateMatchesPaperFormula) {
+  // Case I of Table IX at 8-bit strength: N0=39, N1=50, Nc=110 →
+  // UR = 50·64 / (50·80 + 149·16) ≈ 50.13 %.
+  Metrics m;
+  const double prm = 16.0, id = 64.0;
+  for (int i = 0; i < 39; ++i) m.recordSlot(SlotType::kIdle, SlotType::kIdle, prm);
+  for (int i = 0; i < 50; ++i)
+    m.recordSlot(SlotType::kSingle, SlotType::kSingle, prm + id);
+  for (int i = 0; i < 110; ++i)
+    m.recordSlot(SlotType::kCollided, SlotType::kCollided, prm);
+  EXPECT_NEAR(m.utilizationRate(id, 1.0), 0.5013, 0.0001);
+}
+
+TEST(Metrics, IdentificationBookkeeping) {
+  Metrics m;
+  m.recordIdentification(true, 10.0);
+  m.recordIdentification(false, 20.0);
+  m.recordPhantom(1);
+  EXPECT_EQ(m.identified(), 2u);
+  EXPECT_EQ(m.correctlyIdentified(), 1u);
+  EXPECT_EQ(m.phantoms(), 1u);
+  EXPECT_EQ(m.lostTags(), 1u);
+  ASSERT_EQ(m.delaysMicros().size(), 2u);
+  EXPECT_DOUBLE_EQ(m.delaysMicros()[0], 10.0);
+  EXPECT_DOUBLE_EQ(m.delaysMicros()[1], 20.0);
+}
+
+TEST(Metrics, FrameCounter) {
+  Metrics m;
+  m.recordFrame();
+  m.recordFrame();
+  EXPECT_EQ(m.frames(), 2u);
+}
+
+TEST(Metrics, UtilizationOfEmptyRunIsZero) {
+  Metrics m;
+  EXPECT_DOUBLE_EQ(m.utilizationRate(64.0, 1.0), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,128 @@
+// Mobile-tag scenario: arrival accounting, miss-rate behaviour vs dwell and
+// scheme, and progress guarantees (including the zero-airtime oracle).
+#include "sim/mobile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "core/detection_scheme.hpp"
+
+namespace {
+
+using rfid::common::PreconditionError;
+using rfid::common::Rng;
+using rfid::core::CrcCdScheme;
+using rfid::core::IdealScheme;
+using rfid::core::QcdScheme;
+using rfid::phy::AirInterface;
+using rfid::sim::MobileConfig;
+using rfid::sim::MobileResult;
+using rfid::sim::runMobileScenario;
+
+MobileConfig baseConfig() {
+  MobileConfig cfg;
+  cfg.arrivalsPerMs = 2.0;
+  cfg.dwellMicros = 800.0;
+  cfg.horizonMicros = 100000.0;
+  cfg.frameSize = 8;
+  return cfg;
+}
+
+TEST(Mobile, AccountingIdentity) {
+  const QcdScheme scheme{AirInterface{}, 8};
+  Rng rng(1);
+  const MobileResult r = runMobileScenario(scheme, baseConfig(), rng);
+  EXPECT_GT(r.arrived, 0u);
+  // Every resolved tag is either read or missed; some arrivals may still be
+  // in their dwell window at the horizon.
+  EXPECT_LE(r.identified + r.missed, r.arrived);
+  EXPECT_GE(r.identified + r.missed,
+            r.arrived > 10 ? r.arrived - 10 : 0u);
+  EXPECT_GE(r.missRate(), 0.0);
+  EXPECT_LE(r.missRate(), 1.0);
+}
+
+TEST(Mobile, ArrivalCountTracksRate) {
+  const QcdScheme scheme{AirInterface{}, 8};
+  MobileConfig cfg = baseConfig();
+  Rng rng(2);
+  const MobileResult r = runMobileScenario(scheme, cfg, rng);
+  // 2 arrivals/ms over 100 ms → ~200 expected.
+  EXPECT_NEAR(static_cast<double>(r.arrived), 200.0, 50.0);
+}
+
+TEST(Mobile, QcdMissesFewerThanCrcCd) {
+  MobileConfig cfg = baseConfig();
+  cfg.dwellMicros = 600.0;
+  const CrcCdScheme crc{AirInterface{}};
+  const QcdScheme qcd{AirInterface{}, 8};
+  Rng r1(3), r2(3);
+  const MobileResult mCrc = runMobileScenario(crc, cfg, r1);
+  const MobileResult mQcd = runMobileScenario(qcd, cfg, r2);
+  EXPECT_LT(mQcd.missRate(), mCrc.missRate());
+  EXPECT_LT(mQcd.meanTimeToReadMicros, mCrc.meanTimeToReadMicros);
+}
+
+TEST(Mobile, LongerDwellLowersMissRate) {
+  const CrcCdScheme crc{AirInterface{}};
+  MobileConfig shortDwell = baseConfig();
+  shortDwell.dwellMicros = 400.0;
+  MobileConfig longDwell = baseConfig();
+  longDwell.dwellMicros = 3200.0;
+  Rng r1(4), r2(4);
+  const double missShort = runMobileScenario(crc, shortDwell, r1).missRate();
+  const double missLong = runMobileScenario(crc, longDwell, r2).missRate();
+  EXPECT_GT(missShort, missLong);
+}
+
+TEST(Mobile, OracleTerminatesDespiteZeroCostIdleSlots) {
+  // Regression: IdealScheme's idle/collided slots cost 0 µs; the scenario
+  // must still make progress through its fast-forward guard.
+  const IdealScheme ideal{AirInterface{}};
+  MobileConfig cfg = baseConfig();
+  cfg.horizonMicros = 50000.0;
+  Rng rng(5);
+  const MobileResult r = runMobileScenario(ideal, cfg, rng);
+  EXPECT_GT(r.arrived, 0u);
+  EXPECT_EQ(r.missed, 0u);  // free detection reads everything in time
+}
+
+TEST(Mobile, SparseTrafficIsMostlyRead) {
+  const QcdScheme qcd{AirInterface{}, 8};
+  MobileConfig cfg = baseConfig();
+  cfg.arrivalsPerMs = 0.1;  // one tag every 10 ms
+  cfg.dwellMicros = 5000.0;
+  Rng rng(6);
+  const MobileResult r = runMobileScenario(qcd, cfg, rng);
+  EXPECT_LT(r.missRate(), 0.02);
+}
+
+TEST(Mobile, Validation) {
+  const QcdScheme qcd{AirInterface{}, 8};
+  Rng rng(7);
+  MobileConfig cfg = baseConfig();
+  cfg.arrivalsPerMs = 0.0;
+  EXPECT_THROW(runMobileScenario(qcd, cfg, rng), PreconditionError);
+  cfg = baseConfig();
+  cfg.dwellMicros = 0.0;
+  EXPECT_THROW(runMobileScenario(qcd, cfg, rng), PreconditionError);
+  cfg = baseConfig();
+  cfg.frameSize = 0;
+  EXPECT_THROW(runMobileScenario(qcd, cfg, rng), PreconditionError);
+  cfg = baseConfig();
+  cfg.horizonMicros = -1.0;
+  EXPECT_THROW(runMobileScenario(qcd, cfg, rng), PreconditionError);
+}
+
+TEST(Mobile, DeterministicGivenSeed) {
+  const QcdScheme qcd{AirInterface{}, 8};
+  Rng r1(8), r2(8);
+  const MobileResult a = runMobileScenario(qcd, baseConfig(), r1);
+  const MobileResult b = runMobileScenario(qcd, baseConfig(), r2);
+  EXPECT_EQ(a.arrived, b.arrived);
+  EXPECT_EQ(a.identified, b.identified);
+  EXPECT_EQ(a.missed, b.missed);
+}
+
+}  // namespace

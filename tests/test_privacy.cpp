@@ -1,0 +1,148 @@
+// Backward-channel privacy: pseudo-ID mixing recovery, the same-bit leak,
+// randomized bit encoding round-trips, and the entropy metrics against
+// empirical simulation.
+#include "privacy/backward_channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using rfid::common::BitVec;
+using rfid::common::PreconditionError;
+using rfid::common::Rng;
+namespace pv = rfid::privacy;
+
+TEST(PseudoId, MixIsBooleanSum) {
+  const BitVec id = BitVec::fromString("0110");
+  const BitVec p = BitVec::fromString("0101");
+  EXPECT_EQ(pv::mixWithPseudoId(id, p).toString(), "0111");
+  EXPECT_THROW(pv::mixWithPseudoId(id, BitVec(5)), PreconditionError);
+}
+
+TEST(PseudoId, ReaderRecoversIdAcrossRounds) {
+  Rng rng(1);
+  const BitVec id = rng.bitvec(64);
+  pv::PseudoIdRecovery recovery(64);
+  std::size_t rounds = 0;
+  while (!recovery.complete() && rounds < 200) {
+    const BitVec p = rng.bitvec(64);
+    recovery.absorb(pv::mixWithPseudoId(id, p), p);
+    ++rounds;
+  }
+  ASSERT_TRUE(recovery.complete());
+  EXPECT_EQ(recovery.recovered(), id);
+  // With uniform pseudo-IDs every bit is exposed at rate 1/2 per round;
+  // 64 bits complete in ~log2(64)+ a few rounds.
+  EXPECT_LE(rounds, 30u);
+}
+
+TEST(PseudoId, KnownBitsMonotone) {
+  Rng rng(2);
+  const BitVec id = rng.bitvec(32);
+  pv::PseudoIdRecovery recovery(32);
+  std::size_t prev = 0;
+  for (int r = 0; r < 10; ++r) {
+    const BitVec p = rng.bitvec(32);
+    recovery.absorb(pv::mixWithPseudoId(id, p), p);
+    EXPECT_GE(recovery.knownBits(), prev);
+    prev = recovery.knownBits();
+  }
+}
+
+TEST(PseudoId, ResidualEntropyClosedForm) {
+  // k = 0: nothing observed → full l bits of uncertainty.
+  EXPECT_NEAR(pv::pseudoIdResidualEntropy(64, 0), 64.0, 1e-9);
+  // Entropy decreases with rounds and approaches l/2 · 0 + ... → 0? No:
+  // bits that are 1 are never pinned exactly, but their posterior
+  // approaches certainty, so entropy → 0.
+  const double e1 = pv::pseudoIdResidualEntropy(64, 1);
+  const double e4 = pv::pseudoIdResidualEntropy(64, 4);
+  const double e16 = pv::pseudoIdResidualEntropy(64, 16);
+  EXPECT_GT(e1, e4);
+  EXPECT_GT(e4, e16);
+  EXPECT_LT(e16, 0.01);
+}
+
+TEST(PseudoId, SameBitLeakFraction) {
+  EXPECT_DOUBLE_EQ(pv::pseudoIdCertainLeakFraction(0), 0.0);
+  // One round: a bit is pinned iff id = 0 (p = ½) and p = 0 (½) → ¼.
+  EXPECT_DOUBLE_EQ(pv::pseudoIdCertainLeakFraction(1), 0.25);
+  // Many rounds: every 0-bit is eventually exposed → ½ of a uniform ID.
+  EXPECT_NEAR(pv::pseudoIdCertainLeakFraction(40), 0.5, 1e-9);
+}
+
+TEST(PseudoId, EmpiricalLeakMatchesClosedForm) {
+  Rng rng(3);
+  constexpr std::size_t kBits = 64;
+  constexpr int kTrials = 300;
+  constexpr std::size_t kRounds = 2;
+  std::size_t pinned = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    const BitVec id = rng.bitvec(kBits);
+    // The eavesdropper pins bit i iff some round's mixed bit i is 0.
+    BitVec anyZero(kBits, false);
+    for (std::size_t r = 0; r < kRounds; ++r) {
+      const BitVec mixed = pv::mixWithPseudoId(id, rng.bitvec(kBits));
+      anyZero |= ~mixed;
+    }
+    pinned += anyZero.popcount();
+  }
+  const double fraction =
+      static_cast<double>(pinned) / (kTrials * static_cast<double>(kBits));
+  EXPECT_NEAR(fraction, pv::pseudoIdCertainLeakFraction(kRounds), 0.02);
+}
+
+TEST(Rbe, RoundTripsAnyId) {
+  Rng rng(4);
+  for (const std::size_t q : {2u, 3u, 4u, 8u}) {
+    for (int t = 0; t < 20; ++t) {
+      const BitVec id = rng.bitvec(64);
+      const BitVec encoded = pv::rbeEncode(id, q, rng);
+      ASSERT_EQ(encoded.size(), 64 * q);
+      EXPECT_EQ(pv::rbeDecode(encoded, q), id) << "q = " << q;
+    }
+  }
+}
+
+TEST(Rbe, EncodingsAreFresh) {
+  // The same ID must not produce the same codeword twice (that would make
+  // the tag trackable — the property RBE exists to provide).
+  Rng rng(5);
+  const BitVec id = rng.bitvec(64);
+  const BitVec a = pv::rbeEncode(id, 4, rng);
+  const BitVec b = pv::rbeEncode(id, 4, rng);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pv::rbeDecode(a, 4), pv::rbeDecode(b, 4));
+}
+
+TEST(Rbe, ResidualEntropyLaw) {
+  // Full capture exposes everything; any chip loss restores uniformity.
+  EXPECT_DOUBLE_EQ(pv::rbeResidualEntropyPerBit(4, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(pv::rbeResidualEntropyPerBit(4, 0.0), 1.0);
+  // More chips per bit → better protection at the same capture rate.
+  EXPECT_LT(pv::rbeResidualEntropyPerBit(2, 0.9),
+            pv::rbeResidualEntropyPerBit(8, 0.9));
+  EXPECT_NEAR(pv::rbeResidualEntropyPerBit(2, 0.5), 1.0 - 0.25, 1e-12);
+}
+
+TEST(Rbe, Validation) {
+  Rng rng(6);
+  EXPECT_THROW(pv::rbeEncode(BitVec(8), 1, rng), PreconditionError);
+  EXPECT_THROW(pv::rbeDecode(BitVec(9), 2), PreconditionError);
+  EXPECT_THROW(pv::rbeResidualEntropyPerBit(4, 1.5), PreconditionError);
+}
+
+TEST(BinaryEntropy, KnownValues) {
+  EXPECT_DOUBLE_EQ(pv::binaryEntropy(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(pv::binaryEntropy(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(pv::binaryEntropy(0.5), 1.0);
+  EXPECT_NEAR(pv::binaryEntropy(0.11), 0.4999, 0.001);  // h(0.11) ≈ ½
+  EXPECT_THROW(pv::binaryEntropy(-0.1), PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,193 @@
+// Cross-cutting property tests: accounting identities that must hold for
+// any (protocol, scheme, population) combination, and the statistical laws
+// the paper's analysis rests on, checked on full end-to-end runs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "anticollision/bt.hpp"
+#include "common/stats.hpp"
+#include "anticollision/fsa.hpp"
+#include "core/detection_scheme.hpp"
+#include "helpers.hpp"
+#include "theory/lemmas.hpp"
+
+namespace {
+
+using rfid::anticollision::BinaryTree;
+using rfid::anticollision::FramedSlottedAloha;
+using rfid::core::QcdScheme;
+using rfid::phy::AirInterface;
+using rfid::testing::Harness;
+
+// Airtime must equal the detected census priced by the scheme's timing —
+// the invariant behind every EI/UR computation.
+class AirtimeIdentity
+    : public ::testing::TestWithParam<std::tuple<unsigned, std::size_t>> {};
+
+TEST_P(AirtimeIdentity, AirtimeEqualsCensusTimesTiming) {
+  const auto [strength, tagCount] = GetParam();
+  Harness h(tagCount, 81,
+            std::make_unique<QcdScheme>(AirInterface{}, strength));
+  FramedSlottedAloha fsa(std::max<std::size_t>(4, tagCount / 2));
+  ASSERT_TRUE(fsa.run(h.engine, h.tags, h.rng));
+  const auto& c = h.metrics.detectedCensus();
+  const auto timing = h.scheme->timing();
+  const double expected = static_cast<double>(c.idle) * timing.idleBits +
+                          static_cast<double>(c.single) * timing.singleBits +
+                          static_cast<double>(c.collided) * timing.collidedBits;
+  EXPECT_NEAR(h.metrics.totalAirtimeMicros(), expected, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AirtimeIdentity,
+    ::testing::Combine(::testing::Values(2u, 4u, 8u, 16u),
+                       ::testing::Values<std::size_t>(10, 60, 200)),
+    [](const auto& paramInfo) {
+      return "l" + std::to_string(std::get<0>(paramInfo.param)) + "_n" +
+             std::to_string(std::get<1>(paramInfo.param));
+    });
+
+// Delays are monotone in slot order and bounded by total airtime.
+TEST(Properties, DelaysOrderedAndBounded) {
+  Harness h(120, 82);
+  BinaryTree bt;
+  ASSERT_TRUE(bt.run(h.engine, h.tags, h.rng));
+  const auto& delays = h.metrics.delaysMicros();
+  ASSERT_EQ(delays.size(), 120u);
+  for (std::size_t i = 1; i < delays.size(); ++i) {
+    EXPECT_LE(delays[i - 1], delays[i]);  // recorded in slot order
+  }
+  EXPECT_LE(delays.back(), h.metrics.totalAirtimeMicros() + 1e-9);
+}
+
+// Empirical per-slot misdetection rate must track (2^l − 1)^−(m−1) — run
+// many FSA rounds at low strength where the effect is measurable.
+TEST(Properties, MisdetectionRateMatchesTheoryAtLowStrength) {
+  constexpr unsigned kStrength = 3;  // 7 possible r values
+  std::uint64_t trueCollisions = 0;
+  std::uint64_t missed = 0;
+  for (int round = 0; round < 40; ++round) {
+    Harness h(40, 1000 + static_cast<std::uint64_t>(round),
+              std::make_unique<QcdScheme>(AirInterface{}, kStrength));
+    FramedSlottedAloha fsa(40);
+    ASSERT_TRUE(fsa.run(h.engine, h.tags, h.rng));
+    const auto& conf = h.metrics.confusion();
+    trueCollisions += conf[2][0] + conf[2][1] + conf[2][2];
+    missed += conf[2][1];
+  }
+  ASSERT_GT(trueCollisions, 200u);
+  const double measured =
+      static_cast<double>(missed) / static_cast<double>(trueCollisions);
+  // Most collisions in an F = n frame are pairs; the pair evasion rate is
+  // 1/7 ≈ 0.143, higher multiplicities push the average slightly down.
+  const double pairRate = 1.0 / 7.0;
+  EXPECT_GT(measured, 0.4 * pairRate);
+  EXPECT_LT(measured, 1.3 * pairRate);
+}
+
+// Lost tags == sum of phantom group sizes; believed = single - phantoms +
+// lost for contention protocols without capture.
+TEST(Properties, PhantomAccountingIdentity) {
+  for (const unsigned strength : {1u, 2u, 3u, 8u}) {
+    Harness h(80, 83, std::make_unique<QcdScheme>(AirInterface{}, strength));
+    FramedSlottedAloha fsa(64);
+    ASSERT_TRUE(fsa.run(h.engine, h.tags, h.rng));
+    const auto& c = h.metrics.detectedCensus();
+    EXPECT_EQ(
+        c.single - h.metrics.phantoms() + h.metrics.lostTags(),
+        80u)
+        << "strength " << strength;
+    EXPECT_EQ(h.believed(), 80u);
+    EXPECT_EQ(h.correct() + h.metrics.lostTags(), 80u);
+  }
+}
+
+// The identification-time ordering the whole paper argues for:
+// ideal <= QCD(8) < CRC-CD, on both FSA and BT.
+TEST(Properties, SchemeOrderingOnIdentificationTime) {
+  auto timeWith = [](auto makeScheme, auto makeProtocol) {
+    Harness h(150, 84, makeScheme());
+    auto protocol = makeProtocol();
+    EXPECT_TRUE(protocol.run(h.engine, h.tags, h.rng));
+    return h.metrics.totalAirtimeMicros();
+  };
+  const auto qcd = [] {
+    return std::make_unique<QcdScheme>(AirInterface{}, 8);
+  };
+  const auto crc = [] {
+    return std::make_unique<rfid::core::CrcCdScheme>(AirInterface{});
+  };
+  const auto ideal = [] {
+    return std::make_unique<rfid::core::IdealScheme>(AirInterface{});
+  };
+  const auto fsa = [] { return FramedSlottedAloha(100); };
+  const auto bt = [] { return BinaryTree(); };
+
+  EXPECT_LT(timeWith(qcd, fsa), timeWith(crc, fsa));
+  EXPECT_LT(timeWith(ideal, fsa), timeWith(qcd, fsa));
+  EXPECT_LT(timeWith(qcd, bt), timeWith(crc, bt));
+  EXPECT_LT(timeWith(ideal, bt), timeWith(qcd, bt));
+}
+
+// Stronger preambles cost more airtime per slot but never hurt correctness.
+TEST(Properties, StrengthTradeoffDirection) {
+  double prevAirtime = 0.0;
+  for (const unsigned strength : {4u, 8u, 16u, 32u}) {
+    Harness h(100, 85, std::make_unique<QcdScheme>(AirInterface{}, strength));
+    FramedSlottedAloha fsa(64);
+    ASSERT_TRUE(fsa.run(h.engine, h.tags, h.rng));
+    const double airtime = h.metrics.totalAirtimeMicros();
+    if (prevAirtime > 0.0) {
+      // Longer preambles → more bits on air for the same protocol work.
+      // (Slot counts vary slightly with the stream; compare via per-slot
+      // normalisation.)
+      const double perSlot =
+          airtime / static_cast<double>(h.metrics.detectedCensus().total());
+      EXPECT_GT(perSlot, prevAirtime);
+      prevAirtime = perSlot;
+    } else {
+      prevAirtime =
+          airtime / static_cast<double>(h.metrics.detectedCensus().total());
+    }
+  }
+}
+
+// The first-frame slot census must fit the binomial-occupancy model of
+// Lemma 1 (goodness-of-fit at alpha = 0.001 over pooled rounds).
+TEST(Properties, FirstFrameCensusFitsBinomialModel) {
+  constexpr std::size_t kTags = 300;
+  constexpr std::size_t kFrame = 300;
+  constexpr int kRounds = 60;
+  double idle = 0, single = 0, collided = 0;
+  for (int r = 0; r < kRounds; ++r) {
+    Harness h(kTags, 7000 + static_cast<std::uint64_t>(r));
+    FramedSlottedAloha oneFrame(kFrame, /*maxSlots=*/kFrame);
+    (void)oneFrame.run(h.engine, h.tags, h.rng);
+    idle += static_cast<double>(h.metrics.trueCensus().idle);
+    single += static_cast<double>(h.metrics.trueCensus().single);
+    collided += static_cast<double>(h.metrics.trueCensus().collided);
+  }
+  const auto p = rfid::theory::fsaSlotProbabilities(kTags, kFrame);
+  const double total = kRounds * static_cast<double>(kFrame);
+  const double stat = rfid::common::chiSquareStatistic(
+      {idle, single, collided},
+      {p.idle * total, p.single * total, p.collided * total});
+  EXPECT_LT(stat, rfid::common::chiSquareCritical001(2));
+}
+
+// UR from Metrics equals the closed form over the same census (QCD).
+TEST(Properties, UtilizationMatchesClosedForm) {
+  Harness h(200, 86);
+  FramedSlottedAloha fsa(128);
+  ASSERT_TRUE(fsa.run(h.engine, h.tags, h.rng));
+  const auto& c = h.metrics.detectedCensus();
+  rfid::theory::EiParams p;
+  p.preambleBits = 16.0;
+  const double closedForm = rfid::theory::urQcd(
+      static_cast<double>(c.idle), static_cast<double>(c.single),
+      static_cast<double>(c.collided), p);
+  EXPECT_NEAR(h.metrics.utilizationRate(64.0, 1.0), closedForm, 1e-9);
+}
+
+}  // namespace

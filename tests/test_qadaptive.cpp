@@ -1,0 +1,79 @@
+// Q-Adaptive (Gen2 slot-count algorithm): completeness, Q adaptation, and
+// parameter validation.
+#include "anticollision/qadaptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+#include "helpers.hpp"
+
+namespace {
+
+using rfid::anticollision::QAdaptive;
+using rfid::common::PreconditionError;
+using rfid::testing::Harness;
+
+TEST(QAdaptive, IdentifiesAllTags) {
+  for (const std::size_t n : {1u, 10u, 100u, 500u}) {
+    Harness h(n, 21);
+    QAdaptive q;
+    EXPECT_TRUE(q.run(h.engine, h.tags, h.rng)) << n << " tags";
+    EXPECT_EQ(h.believed(), n) << n << " tags";
+  }
+}
+
+TEST(QAdaptive, EmptyPopulation) {
+  Harness h(0, 22);
+  QAdaptive q;
+  EXPECT_TRUE(q.run(h.engine, h.tags, h.rng));
+  EXPECT_EQ(h.metrics.detectedCensus().total(), 0u);
+}
+
+TEST(QAdaptive, AdaptsBetterThanWildlyWrongInitialQ) {
+  // Starting at Q = 10 (frame 1024) for 20 tags: the algorithm must shrink
+  // the effective frame quickly instead of sweeping 1024 mostly idle slots
+  // per round.
+  Harness h(20, 23);
+  QAdaptive q(/*initialQ=*/10.0, /*c=*/0.5);
+  EXPECT_TRUE(q.run(h.engine, h.tags, h.rng));
+  EXPECT_LT(h.metrics.detectedCensus().total(), 700u);
+}
+
+TEST(QAdaptive, ReasonableThroughputAtScale) {
+  Harness h(1000, 24);
+  QAdaptive q;
+  EXPECT_TRUE(q.run(h.engine, h.tags, h.rng));
+  // The Q algorithm typically lands in the 0.25-0.37 band.
+  EXPECT_GT(h.metrics.throughput(), 0.2);
+}
+
+TEST(QAdaptive, DelaysRecordedForAllTags) {
+  Harness h(64, 25);
+  QAdaptive q;
+  EXPECT_TRUE(q.run(h.engine, h.tags, h.rng));
+  EXPECT_EQ(h.metrics.delaysMicros().size(), 64u);
+}
+
+TEST(QAdaptive, FramesCountQueriesAndAdjusts) {
+  Harness h(100, 26);
+  QAdaptive q;
+  EXPECT_TRUE(q.run(h.engine, h.tags, h.rng));
+  EXPECT_GE(h.metrics.frames(), 1u);
+}
+
+TEST(QAdaptive, ConstructionValidation) {
+  EXPECT_THROW(QAdaptive(-1.0, 0.3), PreconditionError);
+  EXPECT_THROW(QAdaptive(16.0, 0.3), PreconditionError);
+  EXPECT_THROW(QAdaptive(4.0, 0.0), PreconditionError);
+  EXPECT_THROW(QAdaptive(4.0, 1.5), PreconditionError);
+  EXPECT_THROW(QAdaptive(4.0, 0.3, 16.0), PreconditionError);
+}
+
+TEST(QAdaptive, CapAborts) {
+  Harness h(100, 27);
+  QAdaptive q(4.0, 0.3, 15.0, /*maxSlots=*/10);
+  EXPECT_FALSE(q.run(h.engine, h.tags, h.rng));
+  EXPECT_LE(h.metrics.detectedCensus().total(), 10u);
+}
+
+}  // namespace

@@ -1,0 +1,138 @@
+// QcdPreamble: encoding shape, Algorithm-1 verdicts, Theorem-1 guarantees,
+// and the evasion-probability law.
+#include "core/qcd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using rfid::common::BitVec;
+using rfid::common::PreconditionError;
+using rfid::common::Rng;
+using rfid::core::QcdPreamble;
+
+TEST(QcdPreamble, EncodesRFollowedByComplement) {
+  const QcdPreamble prm(4);
+  const BitVec s = prm.encode(0b1010);
+  ASSERT_EQ(s.size(), 8u);
+  EXPECT_EQ(s.slice(0, 4).toUint(), 0b1010u);
+  EXPECT_EQ(s.slice(4, 4).toUint(), 0b0101u);
+}
+
+TEST(QcdPreamble, PreambleIsNeverAllZero) {
+  // r and ~r together always contain exactly l ones, so a transmitted
+  // preamble always carries energy — idle slots are unambiguous.
+  const QcdPreamble prm(8);
+  for (std::uint64_t r = 1; r <= 255; ++r) {
+    const BitVec s = prm.encode(r);
+    EXPECT_EQ(s.popcount(), 8u);
+    EXPECT_TRUE(s.any());
+  }
+}
+
+TEST(QcdPreamble, DrawIsPositiveAndInRange) {
+  const QcdPreamble prm(4);
+  Rng rng(51);
+  bool sawMax = false;
+  for (int t = 0; t < 2000; ++t) {
+    const std::uint64_t r = prm.draw(rng);
+    ASSERT_GE(r, 1u);
+    ASSERT_LE(r, 15u);
+    sawMax |= r == 15;
+  }
+  EXPECT_TRUE(sawMax);
+}
+
+TEST(QcdPreamble, SingleResponderReadsSingle) {
+  const QcdPreamble prm(8);
+  for (std::uint64_t r = 1; r <= 255; ++r) {
+    EXPECT_EQ(prm.inspect(prm.encode(r)), QcdPreamble::Verdict::kSingle);
+  }
+}
+
+TEST(QcdPreamble, DistinctPairAlwaysReadsCollided) {
+  // Theorem 1, exhaustively at l = 5.
+  const QcdPreamble prm(5);
+  for (std::uint64_t a = 1; a <= 31; ++a) {
+    for (std::uint64_t b = a + 1; b <= 31; ++b) {
+      const BitVec s = prm.encode(a) | prm.encode(b);
+      EXPECT_EQ(prm.inspect(s), QcdPreamble::Verdict::kCollided)
+          << a << " | " << b;
+    }
+  }
+}
+
+TEST(QcdPreamble, EqualDrawsEvadeDetection) {
+  const QcdPreamble prm(8);
+  const BitVec one = prm.encode(0x5A);
+  const BitVec s = one | one | one;
+  EXPECT_EQ(prm.inspect(s), QcdPreamble::Verdict::kSingle);
+}
+
+TEST(QcdPreamble, ManyDistinctResponders) {
+  const QcdPreamble prm(8);
+  Rng rng(52);
+  for (int t = 0; t < 500; ++t) {
+    const std::size_t m = rng.between(2, 12);
+    std::vector<std::uint64_t> rs;
+    BitVec s(16);
+    bool distinct = false;
+    for (std::size_t i = 0; i < m; ++i) {
+      rs.push_back(prm.draw(rng));
+      if (i > 0 && rs[i] != rs[0]) distinct = true;
+      s |= prm.encode(rs[i]);
+    }
+    if (!distinct) continue;
+    EXPECT_EQ(prm.inspect(s), QcdPreamble::Verdict::kCollided);
+  }
+}
+
+TEST(QcdPreamble, EvasionProbabilityLaw) {
+  // (2^l − 1)^−(m−1)
+  EXPECT_DOUBLE_EQ(QcdPreamble::evasionProbability(4, 2), 1.0 / 15.0);
+  EXPECT_DOUBLE_EQ(QcdPreamble::evasionProbability(4, 3), 1.0 / 225.0);
+  EXPECT_DOUBLE_EQ(QcdPreamble::evasionProbability(8, 2), 1.0 / 255.0);
+  EXPECT_DOUBLE_EQ(QcdPreamble::evasionProbability(8, 1), 0.0);
+  EXPECT_DOUBLE_EQ(QcdPreamble::evasionProbability(8, 0), 0.0);
+  EXPECT_GT(QcdPreamble::evasionProbability(64, 2), 0.0);
+}
+
+TEST(QcdPreamble, EmpiricalEvasionMatchesLawAtLowStrength) {
+  // At l = 2 (3 possible r values) a pair collision evades with p = 1/3;
+  // measurable quickly.
+  const QcdPreamble prm(2);
+  Rng rng(53);
+  int evaded = 0;
+  constexpr int kN = 30000;
+  for (int t = 0; t < kN; ++t) {
+    const BitVec s = prm.encode(prm.draw(rng)) | prm.encode(prm.draw(rng));
+    if (prm.inspect(s) == QcdPreamble::Verdict::kSingle) ++evaded;
+  }
+  EXPECT_NEAR(static_cast<double>(evaded) / kN,
+              QcdPreamble::evasionProbability(2, 2), 0.01);
+}
+
+TEST(QcdPreamble, Validation) {
+  EXPECT_THROW(QcdPreamble{0}, PreconditionError);
+  EXPECT_THROW(QcdPreamble{65}, PreconditionError);
+  const QcdPreamble prm(4);
+  EXPECT_THROW(prm.encode(0), PreconditionError);
+  EXPECT_THROW(prm.encode(16), PreconditionError);
+  EXPECT_THROW(prm.inspect(BitVec(7)), PreconditionError);
+  EXPECT_THROW(QcdPreamble::evasionProbability(0, 2), PreconditionError);
+}
+
+TEST(QcdPreamble, RecommendedStrengthIsNearCertain) {
+  // §IV-B recommends l = 8: a pair evades with probability 1/255 ≈ 0.4 %.
+  EXPECT_LT(QcdPreamble::evasionProbability(8, 2), 0.004);
+  // and a 16-bit preamble (l = 16) is essentially exact.
+  EXPECT_LT(QcdPreamble::evasionProbability(16, 2), 1.6e-5);
+}
+
+}  // namespace

@@ -1,0 +1,147 @@
+// Multi-reader coordination: conflict-graph construction from geometry,
+// colouring validity and bounds, channel plans, and makespan accounting.
+#include "readers/interference.hpp"
+#include "readers/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "sim/scenario.hpp"
+#include "sim/spatial.hpp"
+
+namespace {
+
+using rfid::common::PreconditionError;
+using rfid::common::Rng;
+using rfid::readers::ActivationSchedule;
+using rfid::readers::assignChannels;
+using rfid::readers::buildConflictGraph;
+using rfid::readers::ChannelPlan;
+using rfid::readers::ConflictGraph;
+using rfid::readers::scheduleActivations;
+using rfid::readers::scheduledMakespanMicros;
+using rfid::sim::Point;
+
+TEST(ConflictGraph, PaperGridWithShortCarrierIsConflictFree) {
+  // 10 m pitch, 3 m coverage, carrier = coverage: threshold 6 m < 10 m.
+  const auto readers = rfid::sim::gridReaderLayout(rfid::sim::paperDeployment());
+  const ConflictGraph g = buildConflictGraph(readers, 3.0, 1.0);
+  EXPECT_EQ(g.edgeCount(), 0u);
+  EXPECT_EQ(g.maxDegree(), 0u);
+}
+
+TEST(ConflictGraph, StrongerCarrierCreatesGridConflicts) {
+  // Carrier at 3× coverage: threshold 12 m > 10 m pitch — each inner
+  // reader conflicts with its 4 grid neighbours.
+  const auto readers = rfid::sim::gridReaderLayout(rfid::sim::paperDeployment());
+  const ConflictGraph g = buildConflictGraph(readers, 3.0, 3.0);
+  EXPECT_GT(g.edgeCount(), 0u);
+  EXPECT_EQ(g.maxDegree(), 4u);
+  // 10×10 grid 4-neighbour lattice: 2·10·9 = 180 edges.
+  EXPECT_EQ(g.edgeCount(), 180u);
+}
+
+TEST(ConflictGraph, PairwiseGeometry) {
+  const std::vector<Point> readers = {{0, 0}, {5, 0}, {20, 0}};
+  const ConflictGraph g = buildConflictGraph(readers, 3.0, 1.0);  // thr 6 m
+  EXPECT_TRUE(g.areInConflict(0, 1));
+  EXPECT_TRUE(g.areInConflict(1, 0));
+  EXPECT_FALSE(g.areInConflict(0, 2));
+  EXPECT_FALSE(g.areInConflict(1, 2));
+}
+
+TEST(ConflictGraph, Validation) {
+  const std::vector<Point> readers = {{0, 0}};
+  EXPECT_THROW(buildConflictGraph(readers, 0.0, 1.0), PreconditionError);
+  EXPECT_THROW(buildConflictGraph(readers, 3.0, 0.5), PreconditionError);
+  const ConflictGraph g = buildConflictGraph(readers, 3.0, 1.0);
+  EXPECT_THROW(g.areInConflict(0, 1), PreconditionError);
+}
+
+TEST(Scheduler, ConflictFreeGraphNeedsOneRound) {
+  const auto readers = rfid::sim::gridReaderLayout(rfid::sim::paperDeployment());
+  const ConflictGraph g = buildConflictGraph(readers, 3.0, 1.0);
+  const ActivationSchedule s = scheduleActivations(g);
+  EXPECT_EQ(s.roundCount(), 1u);
+  EXPECT_TRUE(s.isValidFor(g));
+}
+
+TEST(Scheduler, LatticeNeedsTwoRounds) {
+  // A 4-neighbour lattice is bipartite: exactly 2 colours suffice, and the
+  // greedy colouring must stay within maxDegree + 1 = 5.
+  const auto readers = rfid::sim::gridReaderLayout(rfid::sim::paperDeployment());
+  const ConflictGraph g = buildConflictGraph(readers, 3.0, 3.0);
+  const ActivationSchedule s = scheduleActivations(g);
+  EXPECT_TRUE(s.isValidFor(g));
+  EXPECT_GE(s.roundCount(), 2u);
+  EXPECT_LE(s.roundCount(), g.maxDegree() + 1);
+}
+
+TEST(Scheduler, RandomDenseDeploymentsStayValidAndBounded) {
+  Rng rng(7);
+  for (int t = 0; t < 20; ++t) {
+    std::vector<Point> readers;
+    const std::size_t n = 5 + rng.below(40);
+    for (std::size_t i = 0; i < n; ++i) {
+      readers.push_back(Point{rng.real() * 50.0, rng.real() * 50.0});
+    }
+    const ConflictGraph g = buildConflictGraph(readers, 5.0, 2.0);
+    const ActivationSchedule s = scheduleActivations(g);
+    ASSERT_TRUE(s.isValidFor(g)) << "trial " << t;
+    EXPECT_LE(s.roundCount(), g.maxDegree() + 1) << "trial " << t;
+  }
+}
+
+TEST(Scheduler, ChannelPlanMatchesColouring) {
+  Rng rng(8);
+  std::vector<Point> readers;
+  for (int i = 0; i < 30; ++i) {
+    readers.push_back(Point{rng.real() * 40.0, rng.real() * 40.0});
+  }
+  const ConflictGraph g = buildConflictGraph(readers, 5.0, 2.0);
+  const ChannelPlan plan = assignChannels(g);
+  EXPECT_TRUE(plan.isValidFor(g));
+  EXPECT_LE(plan.channels, g.maxDegree() + 1);
+  // Channel plan and TDMA schedule come from the same colouring.
+  EXPECT_EQ(plan.channels, scheduleActivations(g).roundCount());
+}
+
+TEST(Scheduler, InvalidPlansAreRejected) {
+  const std::vector<Point> readers = {{0, 0}, {1, 0}};
+  const ConflictGraph g = buildConflictGraph(readers, 3.0, 1.0);
+  ChannelPlan bad;
+  bad.channelOf = {0, 0};  // both on the same channel despite conflict
+  bad.channels = 1;
+  EXPECT_FALSE(bad.isValidFor(g));
+  ActivationSchedule together;
+  together.rounds = {{0, 1}};
+  EXPECT_FALSE(together.isValidFor(g));
+  ActivationSchedule missing;
+  missing.rounds = {{0}};
+  EXPECT_FALSE(missing.isValidFor(g));  // reader 1 never scheduled
+}
+
+TEST(Scheduler, MakespanIsSumOfRoundMaxima) {
+  ActivationSchedule s;
+  s.rounds = {{0, 1}, {2}};
+  const std::vector<double> cell = {10.0, 30.0, 5.0};
+  EXPECT_DOUBLE_EQ(scheduledMakespanMicros(s, cell), 35.0);
+  ActivationSchedule bad;
+  bad.rounds = {{7}};
+  EXPECT_THROW(scheduledMakespanMicros(bad, cell), PreconditionError);
+}
+
+TEST(Scheduler, DeterministicSchedules) {
+  Rng rng(9);
+  std::vector<Point> readers;
+  for (int i = 0; i < 25; ++i) {
+    readers.push_back(Point{rng.real() * 30.0, rng.real() * 30.0});
+  }
+  const ConflictGraph g = buildConflictGraph(readers, 4.0, 2.0);
+  const ActivationSchedule a = scheduleActivations(g);
+  const ActivationSchedule b = scheduleActivations(g);
+  EXPECT_EQ(a.rounds, b.rounds);
+}
+
+}  // namespace

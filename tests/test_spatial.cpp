@@ -1,0 +1,138 @@
+// Spatial deployment (Table V): reader grid geometry, uniform tag layout,
+// cell assignment and coverage.
+#include "sim/spatial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "sim/scenario.hpp"
+
+namespace {
+
+using rfid::common::PreconditionError;
+using rfid::common::Rng;
+using rfid::sim::assignTagsToReaders;
+using rfid::sim::CellAssignment;
+using rfid::sim::Deployment;
+using rfid::sim::distance;
+using rfid::sim::gridReaderLayout;
+using rfid::sim::paperCases;
+using rfid::sim::paperDeployment;
+using rfid::sim::Point;
+using rfid::sim::uniformTagLayout;
+
+TEST(Scenario, PaperCasesMatchTableVI) {
+  const auto& cases = paperCases();
+  ASSERT_EQ(cases.size(), 4u);
+  EXPECT_EQ(cases[0].tagCount, 50u);
+  EXPECT_EQ(cases[0].frameSize, 30u);
+  EXPECT_EQ(cases[1].tagCount, 500u);
+  EXPECT_EQ(cases[2].frameSize, 3000u);
+  // Case IV uses 50000 tags (Table VI's "5000" is a typo; see DESIGN.md).
+  EXPECT_EQ(cases[3].tagCount, 50000u);
+  EXPECT_EQ(cases[3].frameSize, 30000u);
+}
+
+TEST(Spatial, Distance) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(Spatial, GridLayoutHas100ReadersInBounds) {
+  const Deployment d = paperDeployment();
+  const auto readers = gridReaderLayout(d);
+  ASSERT_EQ(readers.size(), 100u);
+  for (const Point& p : readers) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 100.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 100.0);
+  }
+  // First reader sits at the centre of its 10 m cell.
+  EXPECT_DOUBLE_EQ(readers.front().x, 5.0);
+  EXPECT_DOUBLE_EQ(readers.front().y, 5.0);
+}
+
+TEST(Spatial, GridCoverageDiscsAreDisjoint) {
+  // 10 m pitch, 3 m radius: no tag can be in range of two readers — the
+  // geometric reason the paper can ignore reader-reader coordination.
+  const Deployment d = paperDeployment();
+  const auto readers = gridReaderLayout(d);
+  for (std::size_t i = 0; i < readers.size(); ++i) {
+    for (std::size_t j = i + 1; j < readers.size(); ++j) {
+      EXPECT_GT(distance(readers[i], readers[j]),
+                2.0 * d.readerRangeMeters);
+    }
+  }
+}
+
+TEST(Spatial, GridRequiresPerfectSquare) {
+  Deployment d = paperDeployment();
+  d.readerCount = 99;
+  EXPECT_THROW(gridReaderLayout(d), PreconditionError);
+}
+
+TEST(Spatial, UniformTagsInBounds) {
+  const Deployment d = paperDeployment();
+  Rng rng(91);
+  const auto tags = uniformTagLayout(d, 1000, rng);
+  ASSERT_EQ(tags.size(), 1000u);
+  for (const Point& p : tags) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LT(p.x, 100.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LT(p.y, 100.0);
+  }
+}
+
+TEST(Spatial, AssignmentPartitionsTags) {
+  const Deployment d = paperDeployment();
+  Rng rng(92);
+  const auto readers = gridReaderLayout(d);
+  const auto tagPos = uniformTagLayout(d, 2000, rng);
+  const CellAssignment a =
+      assignTagsToReaders(readers, tagPos, d.readerRangeMeters);
+  EXPECT_EQ(a.coveredCount() + a.uncovered.size(), tagPos.size());
+  // Every assigned tag really is in range.
+  for (std::size_t r = 0; r < a.cells.size(); ++r) {
+    for (const std::size_t t : a.cells[r]) {
+      EXPECT_LE(distance(readers[r], tagPos[t]), d.readerRangeMeters);
+    }
+  }
+  for (const std::size_t t : a.uncovered) {
+    for (const Point& rp : readers) {
+      EXPECT_GT(distance(rp, tagPos[t]), d.readerRangeMeters);
+    }
+  }
+}
+
+TEST(Spatial, CoverageFractionMatchesGeometry) {
+  // 100 discs of radius 3 in a 100×100 area cover 100·π·9/10000 ≈ 28.3 %.
+  const Deployment d = paperDeployment();
+  Rng rng(93);
+  const auto readers = gridReaderLayout(d);
+  const auto tagPos = uniformTagLayout(d, 20000, rng);
+  const CellAssignment a =
+      assignTagsToReaders(readers, tagPos, d.readerRangeMeters);
+  const double covered =
+      static_cast<double>(a.coveredCount()) / static_cast<double>(tagPos.size());
+  EXPECT_NEAR(covered, 100.0 * M_PI * 9.0 / 10000.0, 0.02);
+}
+
+TEST(Spatial, NearestReaderWins) {
+  const std::vector<Point> readers = {{0, 0}, {4, 0}};
+  const std::vector<Point> tagPos = {{1.5, 0.0}};  // in range of both (r=3)
+  const CellAssignment a = assignTagsToReaders(readers, tagPos, 3.0);
+  EXPECT_EQ(a.cells[0].size(), 1u);
+  EXPECT_TRUE(a.cells[1].empty());
+}
+
+TEST(Spatial, RangeMustBePositive) {
+  EXPECT_THROW(assignTagsToReaders({{0, 0}}, {{1, 1}}, 0.0),
+               PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,153 @@
+// RunningStats and SampleSet: exact small cases, merge correctness,
+// percentile interpolation.
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using rfid::common::PreconditionError;
+using rfid::common::Rng;
+using rfid::common::RunningStats;
+using rfid::common::SampleSet;
+
+TEST(RunningStats, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(x);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Population variance is 4; the unbiased sample variance is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, SingleSampleVarianceZero) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Rng rng(21);
+  RunningStats whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.real() * 10.0 - 5.0;
+    whole.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStats aCopy = a;
+  a.merge(b);  // empty rhs: no-op
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), aCopy.mean());
+  b.merge(a);  // empty lhs: adopt rhs
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(SampleSet, MeanStddevMatchRunningStats) {
+  Rng rng(22);
+  SampleSet set;
+  RunningStats ref;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.real();
+    set.add(x);
+    ref.add(x);
+  }
+  EXPECT_NEAR(set.mean(), ref.mean(), 1e-12);
+  EXPECT_NEAR(set.stddev(), ref.stddev(), 1e-12);
+}
+
+TEST(SampleSet, PercentileInterpolation) {
+  SampleSet set;
+  for (const double x : {10.0, 20.0, 30.0, 40.0}) {
+    set.add(x);
+  }
+  EXPECT_DOUBLE_EQ(set.percentile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(set.percentile(100.0), 40.0);
+  EXPECT_DOUBLE_EQ(set.median(), 25.0);
+  EXPECT_DOUBLE_EQ(set.percentile(25.0), 17.5);
+}
+
+TEST(SampleSet, PercentileValidation) {
+  SampleSet empty;
+  EXPECT_THROW(empty.percentile(50.0), PreconditionError);
+  EXPECT_THROW(empty.min(), PreconditionError);
+  EXPECT_THROW(empty.max(), PreconditionError);
+  SampleSet one;
+  one.add(7.0);
+  EXPECT_DOUBLE_EQ(one.percentile(10.0), 7.0);
+  EXPECT_THROW(one.percentile(101.0), PreconditionError);
+  EXPECT_THROW(one.percentile(-1.0), PreconditionError);
+}
+
+TEST(SampleSet, Ci95ShrinksWithSampleCount) {
+  Rng rng(23);
+  SampleSet small, large;
+  for (int i = 0; i < 10; ++i) small.add(rng.real());
+  for (int i = 0; i < 1000; ++i) large.add(rng.real());
+  EXPECT_GT(small.ci95HalfWidth(), large.ci95HalfWidth());
+  SampleSet single;
+  single.add(1.0);
+  EXPECT_DOUBLE_EQ(single.ci95HalfWidth(), 0.0);
+}
+
+TEST(ChiSquare, StatisticAndCriticalValues) {
+  // Perfect fit → 0.
+  EXPECT_DOUBLE_EQ(rfid::common::chiSquareStatistic({10, 20, 30}, {10, 20, 30}),
+                   0.0);
+  // Hand-computed: (12-10)^2/10 + (18-20)^2/20 = 0.4 + 0.2.
+  EXPECT_NEAR(rfid::common::chiSquareStatistic({12, 18}, {10, 20}), 0.6,
+              1e-12);
+  EXPECT_NEAR(rfid::common::chiSquareCritical001(1), 10.828, 1e-3);
+  EXPECT_NEAR(rfid::common::chiSquareCritical001(2), 13.816, 1e-3);
+  EXPECT_THROW(rfid::common::chiSquareStatistic({1.0}, {0.0}),
+               PreconditionError);
+  EXPECT_THROW(rfid::common::chiSquareStatistic({}, {}), PreconditionError);
+  EXPECT_THROW(rfid::common::chiSquareStatistic({1.0}, {1.0, 2.0}),
+               PreconditionError);
+  EXPECT_THROW(rfid::common::chiSquareCritical001(0), PreconditionError);
+  EXPECT_THROW(rfid::common::chiSquareCritical001(11), PreconditionError);
+}
+
+TEST(SampleSet, Ci95KnownValue) {
+  SampleSet s;
+  // Samples with stddev exactly 1 around 0 (n = 2: -1, 1 → stddev √2).
+  s.add(-1.0);
+  s.add(1.0);
+  const double expected = 1.96 * std::sqrt(2.0) / std::sqrt(2.0);
+  EXPECT_NEAR(s.ci95HalfWidth(), expected, 1e-12);
+}
+
+}  // namespace

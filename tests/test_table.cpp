@@ -1,0 +1,96 @@
+// TextTable rendering and number formatting helpers.
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/require.hpp"
+
+namespace {
+
+using rfid::common::fmtCount;
+using rfid::common::fmtDouble;
+using rfid::common::fmtPercent;
+using rfid::common::fmtWithCi;
+using rfid::common::PreconditionError;
+using rfid::common::TextTable;
+
+TEST(TextTable, RendersHeadersAndRows) {
+  TextTable t({"Case", "Throughput"});
+  t.addRow({"I", "0.25"});
+  t.addRow({"II", "0.22"});
+  const std::string out = t.str();
+  EXPECT_NE(out.find("Case"), std::string::npos);
+  EXPECT_NE(out.find("Throughput"), std::string::npos);
+  EXPECT_NE(out.find("0.25"), std::string::npos);
+  EXPECT_NE(out.find("| II"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAlignToWidestCell) {
+  TextTable t({"A"});
+  t.addRow({"very-wide-cell"});
+  t.addRow({"x"});
+  std::istringstream lines(t.str());
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width) << line;
+  }
+}
+
+TEST(TextTable, RuleRendersAsSeparator) {
+  TextTable t({"A"});
+  t.addRow({"1"});
+  t.addRule();
+  t.addRow({"2"});
+  const std::string out = t.str();
+  // header rule + top + bottom + explicit = 4 dashed lines
+  std::size_t rules = 0;
+  std::istringstream lines(out);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (!line.empty() && line[0] == '+') ++rules;
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(TextTable, RejectsMismatchedRowWidth) {
+  TextTable t({"A", "B"});
+  EXPECT_THROW(t.addRow({"only-one"}), PreconditionError);
+  EXPECT_THROW(TextTable({}), PreconditionError);
+}
+
+TEST(TextTable, StreamInsertionMatchesStr) {
+  TextTable t({"A"});
+  t.addRow({"1"});
+  std::ostringstream os;
+  os << t;
+  EXPECT_EQ(os.str(), t.str());
+}
+
+TEST(Format, FmtDouble) {
+  EXPECT_EQ(fmtDouble(1.23456, 4), "1.2346");
+  EXPECT_EQ(fmtDouble(2.0, 2), "2.00");
+  EXPECT_EQ(fmtDouble(-0.5, 1), "-0.5");
+}
+
+TEST(Format, FmtPercent) {
+  EXPECT_EQ(fmtPercent(0.5864), "58.64%");
+  EXPECT_EQ(fmtPercent(1.0, 0), "100%");
+}
+
+TEST(Format, FmtCount) {
+  EXPECT_EQ(fmtCount(0), "0");
+  EXPECT_EQ(fmtCount(999), "999");
+  EXPECT_EQ(fmtCount(1000), "1,000");
+  EXPECT_EQ(fmtCount(1234567), "1,234,567");
+  EXPECT_EQ(fmtCount(50000), "50,000");
+}
+
+TEST(Format, FmtWithCi) {
+  EXPECT_EQ(fmtWithCi(1.0, 0.25, 2), "1.00 ± 0.25");
+}
+
+}  // namespace

@@ -1,0 +1,211 @@
+// Theory module: the paper's closed forms — Lemma 1, Lemma 2, the EI
+// formulas with every Table II/III entry, UR, and expected QCD accuracy.
+#include "theory/lemmas.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace {
+
+using rfid::common::PreconditionError;
+namespace th = rfid::theory;
+
+TEST(Lemma1, MaxThroughputIsOneOverE) {
+  EXPECT_NEAR(th::fsaMaxThroughput(), 0.3679, 0.0001);
+  // The paper rounds to 0.37.
+  EXPECT_NEAR(th::fsaMaxThroughput(), 0.37, 0.005);
+}
+
+TEST(Lemma1, ThroughputPeaksAtFrameEqualsTags) {
+  const double atOptimum = th::fsaExpectedThroughput(100, 100);
+  EXPECT_NEAR(atOptimum, th::fsaMaxThroughput(), 1e-9);
+  EXPECT_LT(th::fsaExpectedThroughput(100, 50), atOptimum);
+  EXPECT_LT(th::fsaExpectedThroughput(100, 200), atOptimum);
+}
+
+TEST(Lemma1, SlotProbabilitiesSumToOne) {
+  for (const double n : {0.0, 1.0, 10.0, 50.0, 500.0}) {
+    for (const double f : {1.0, 30.0, 300.0}) {
+      const th::SlotProbabilities p = th::fsaSlotProbabilities(n, f);
+      EXPECT_NEAR(p.idle + p.single + p.collided, 1.0, 1e-9)
+          << "n=" << n << " F=" << f;
+      EXPECT_GE(p.collided, 0.0);
+    }
+  }
+}
+
+TEST(Lemma1, SlotProbabilitiesKnownValues) {
+  // n = F → single probability ≈ 1/e, idle ≈ 1/e.
+  const th::SlotProbabilities p = th::fsaSlotProbabilities(1000, 1000);
+  EXPECT_NEAR(p.single, 1.0 / std::exp(1.0), 0.001);
+  EXPECT_NEAR(p.idle, 1.0 / std::exp(1.0), 0.001);
+  // Zero tags: certainly idle.
+  const th::SlotProbabilities empty = th::fsaSlotProbabilities(0, 30);
+  EXPECT_DOUBLE_EQ(empty.idle, 1.0);
+}
+
+TEST(Lemma2, SlotCountsPerTag) {
+  const th::BtSlotCounts c = th::btExpectedSlots(1000);
+  EXPECT_DOUBLE_EQ(c.collided, 1443.0);
+  EXPECT_DOUBLE_EQ(c.idle, 442.0);
+  EXPECT_DOUBLE_EQ(c.single, 1000.0);
+  EXPECT_DOUBLE_EQ(c.total(), 2885.0);
+}
+
+TEST(Lemma2, AverageThroughput) {
+  EXPECT_NEAR(th::btAverageThroughput(), 0.35, 0.005);
+  EXPECT_NEAR(th::btAverageThroughput(), 1.0 / 2.885, 1e-9);
+}
+
+TEST(EiFsa, ReproducesTableII) {
+  // Table II: strength 4/8/16 → EI ≥ 0.6698 / 0.5864 / 0.4198.
+  th::EiParams p;  // l_id = 64, l_crc = 32
+  p.preambleBits = 8.0;  // strength 4
+  EXPECT_NEAR(th::eiFsaMinimum(p), 0.6698, 0.0002);
+  p.preambleBits = 16.0;  // strength 8
+  EXPECT_NEAR(th::eiFsaMinimum(p), 0.5864, 0.0002);
+  p.preambleBits = 32.0;  // strength 16
+  EXPECT_NEAR(th::eiFsaMinimum(p), 0.4198, 0.0002);
+}
+
+TEST(EiFsa, MatchesSignCorrectedClosedForm) {
+  // (0.6296·l_id + l_crc − l_prm) / (l_id + l_crc); the paper's printed
+  // "+l_prm" cannot reproduce its own Table II.
+  th::EiParams p;
+  p.preambleBits = 16.0;
+  const double closedForm = ((1.0 - 1.0 / 2.7) * p.idBits + p.crcBits -
+                             p.preambleBits) /
+                            (p.idBits + p.crcBits);
+  EXPECT_NEAR(th::eiFsaMinimum(p), closedForm, 1e-12);
+  const double wrongSign =
+      (0.6293 * p.idBits + p.crcBits + p.preambleBits) /
+      (p.idBits + p.crcBits);
+  EXPECT_GT(std::abs(wrongSign - 0.5864), 0.2);  // the typo is not close
+}
+
+TEST(EiBt, ReproducesTableIII) {
+  // Table III: strength 4/8/16 → EI ≈ 0.6856 / 0.6023 / 0.4356.
+  th::EiParams p;
+  p.preambleBits = 8.0;
+  EXPECT_NEAR(th::eiBtAverage(p), 0.6856, 0.0002);
+  p.preambleBits = 16.0;
+  EXPECT_NEAR(th::eiBtAverage(p), 0.6023, 0.0002);
+  p.preambleBits = 32.0;
+  EXPECT_NEAR(th::eiBtAverage(p), 0.4356, 0.0002);
+}
+
+TEST(Ei, FromTimes) {
+  EXPECT_DOUBLE_EQ(th::eiFromTimes(100.0, 40.0), 0.6);
+  EXPECT_DOUBLE_EQ(th::eiFromTimes(100.0, 100.0), 0.0);
+  EXPECT_THROW(th::eiFromTimes(0.0, 1.0), PreconditionError);
+}
+
+TEST(Ur, ReproducesTableIXCaseI) {
+  // Case I census (Table VII): N0=39, N1=50, Nc=110.
+  th::EiParams p;
+  p.preambleBits = 8.0;  // 4-bit strength
+  EXPECT_NEAR(th::urQcd(39, 50, 110, p), 0.6678, 0.0005);
+  p.preambleBits = 16.0;  // 8-bit
+  EXPECT_NEAR(th::urQcd(39, 50, 110, p), 0.5013, 0.0005);
+  p.preambleBits = 32.0;  // 16-bit
+  EXPECT_NEAR(th::urQcd(39, 50, 110, p), 0.3344, 0.0005);
+}
+
+TEST(Ur, CrcCdBaseline) {
+  th::EiParams p;
+  // All slots cost 96 bits; only singles carry 64 useful bits.
+  EXPECT_NEAR(th::urCrcCd(39, 50, 110, p), 50.0 * 64.0 / (199.0 * 96.0),
+              1e-9);
+  EXPECT_DOUBLE_EQ(th::urCrcCd(0, 0, 0, p), 0.0);
+  EXPECT_DOUBLE_EQ(th::urQcd(0, 0, 0, p), 0.0);
+}
+
+TEST(QcdAccuracy, PerMultiplicityLaw) {
+  EXPECT_DOUBLE_EQ(th::qcdExpectedAccuracy(8, 1), 1.0);
+  EXPECT_NEAR(th::qcdExpectedAccuracy(8, 2), 1.0 - 1.0 / 255.0, 1e-12);
+  EXPECT_NEAR(th::qcdExpectedAccuracy(4, 2), 1.0 - 1.0 / 15.0, 1e-12);
+  // More colliders are *easier* to catch.
+  EXPECT_GT(th::qcdExpectedAccuracy(4, 3), th::qcdExpectedAccuracy(4, 2));
+  EXPECT_THROW(th::qcdExpectedAccuracy(0, 2), PreconditionError);
+}
+
+TEST(QcdAccuracy, FsaWeightedAccuracyBounds) {
+  // Weighted over the binomial multiplicity mix of an FSA frame, accuracy
+  // stays between the worst (m = 2) and 1.
+  for (const unsigned l : {4u, 8u, 16u}) {
+    const double acc = th::qcdExpectedFsaAccuracy(l, 50, 30);
+    EXPECT_GE(acc, th::qcdExpectedAccuracy(l, 2));
+    EXPECT_LE(acc, 1.0);
+  }
+  // 8-bit strength achieves "nearly 100%" (§VI-B).
+  EXPECT_GT(th::qcdExpectedFsaAccuracy(8, 50, 30), 0.99);
+  // 16-bit is essentially exact.
+  EXPECT_GT(th::qcdExpectedFsaAccuracy(16, 5000, 3000), 0.99998);
+}
+
+TEST(QcdAccuracy, StrengthMonotonicity) {
+  const double a4 = th::qcdExpectedFsaAccuracy(4, 500, 300);
+  const double a8 = th::qcdExpectedFsaAccuracy(8, 500, 300);
+  const double a16 = th::qcdExpectedFsaAccuracy(16, 500, 300);
+  EXPECT_LT(a4, a8);
+  EXPECT_LT(a8, a16);
+}
+
+TEST(StrengthOptimizer, EvaluationBasics) {
+  th::EiParams p;
+  const th::StrengthEvaluation e8 = th::evaluateStrengthFsa(8, 1000, p);
+  EXPECT_EQ(e8.strength, 8u);
+  EXPECT_GT(e8.expectedBits, 0.0);
+  // Loss per pass at l = 8: ~1.43/255 ≈ 0.56 %.
+  EXPECT_NEAR(e8.lostFractionPerPass, 1.4267 / 255.0, 1e-3);
+  EXPECT_THROW(th::evaluateStrengthFsa(0, 100, p), PreconditionError);
+  EXPECT_THROW(th::evaluateStrengthFsa(8, 0.5, p), PreconditionError);
+}
+
+TEST(StrengthOptimizer, LossFractionMonotonicallyShrinks) {
+  th::EiParams p;
+  double prev = 1.0;
+  for (unsigned l = 1; l <= 16; ++l) {
+    const double loss = th::evaluateStrengthFsa(l, 500, p).lostFractionPerPass;
+    EXPECT_LT(loss, prev);
+    prev = loss;
+  }
+}
+
+TEST(StrengthOptimizer, TimeOptimumIsSmallButAccuracyArguesForEight) {
+  // The honest decomposition behind the paper's l = 8: pure airtime (with
+  // free re-inventory of lost tags) is minimised at a small strength…
+  th::EiParams p;
+  const unsigned timeOpt = th::optimalStrengthFsa(1000, p);
+  EXPECT_GE(timeOpt, 2u);
+  EXPECT_LE(timeOpt, 6u);
+  // …while l = 8 is the first strength whose single-pass silent-loss
+  // fraction drops below half a percent — the accuracy margin a reader
+  // that cannot observe phantom losses actually needs.
+  unsigned firstSafe = 0;
+  for (unsigned l = 1; l <= 16 && firstSafe == 0; ++l) {
+    if (th::evaluateStrengthFsa(l, 1000, p).lostFractionPerPass < 0.006) {
+      firstSafe = l;
+    }
+  }
+  EXPECT_EQ(firstSafe, 8u);
+}
+
+TEST(StrengthOptimizer, ExpectedBitsScaleLinearlyInTags) {
+  th::EiParams p;
+  const double t1 = th::evaluateStrengthFsa(8, 100, p).expectedBits;
+  const double t10 = th::evaluateStrengthFsa(8, 1000, p).expectedBits;
+  EXPECT_NEAR(t10 / t1, 10.0, 0.01);
+}
+
+TEST(Theory, InputValidation) {
+  EXPECT_THROW(th::fsaExpectedThroughput(-1, 10), PreconditionError);
+  EXPECT_THROW(th::fsaExpectedThroughput(10, 0), PreconditionError);
+  EXPECT_THROW(th::btExpectedSlots(-1), PreconditionError);
+  EXPECT_THROW(th::qcdExpectedFsaAccuracy(8, 1, 30), PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,104 @@
+// ThreadPool and parallelFor: completion, exception propagation, and
+// serial/parallel equivalence.
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace {
+
+using rfid::common::parallelFor;
+using rfid::common::ThreadPool;
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.threadCount(), 4u);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) {
+    f.get();
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ReturnsValuesThroughFutures) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, DefaultThreadCountIsPositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.threadCount(), 1u);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      (void)pool.submit([&counter] { ++counter; });
+    }
+  }  // destructor joins after draining
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ParallelFor, VisitsEveryIndexOnce) {
+  constexpr std::size_t kN = 1000;
+  std::vector<int> visits(kN, 0);
+  parallelFor(0, kN, [&](std::size_t i) { ++visits[i]; }, 8);
+  for (const int v : visits) {
+    EXPECT_EQ(v, 1);
+  }
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  bool called = false;
+  parallelFor(5, 5, [&](std::size_t) { called = true; }, 4);
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SerialAndParallelProduceSameResults) {
+  constexpr std::size_t kN = 64;
+  std::vector<double> serial(kN), parallel(kN);
+  auto work = [](std::size_t i) {
+    double acc = 0;
+    for (std::size_t k = 0; k <= i; ++k) acc += static_cast<double>(k * k);
+    return acc;
+  };
+  parallelFor(0, kN, [&](std::size_t i) { serial[i] = work(i); }, 1);
+  parallelFor(0, kN, [&](std::size_t i) { parallel[i] = work(i); }, 8);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  EXPECT_THROW(
+      parallelFor(
+          0, 100,
+          [](std::size_t i) {
+            if (i == 37) throw std::runtime_error("index 37");
+          },
+          4),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, OffsetRange) {
+  std::atomic<std::size_t> sum{0};
+  parallelFor(10, 20, [&](std::size_t i) { sum += i; }, 3);
+  EXPECT_EQ(sum.load(), std::size_t{145});  // 10 + 11 + … + 19
+}
+
+}  // namespace

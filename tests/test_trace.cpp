@@ -1,0 +1,113 @@
+// Slot tracing: observer events mirror the metrics exactly, CSV output is
+// well-formed, and detaching restores the silent path.
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "anticollision/fsa.hpp"
+#include "helpers.hpp"
+
+namespace {
+
+using rfid::anticollision::FramedSlottedAloha;
+using rfid::sim::CsvTraceWriter;
+using rfid::sim::RecordingObserver;
+using rfid::sim::SlotEvent;
+using rfid::testing::Harness;
+
+TEST(Trace, EventsMirrorMetrics) {
+  Harness h(60, 11);
+  RecordingObserver observer;
+  h.engine.setObserver(&observer);
+  FramedSlottedAloha fsa(32);
+  ASSERT_TRUE(fsa.run(h.engine, h.tags, h.rng));
+
+  const auto& events = observer.events();
+  ASSERT_EQ(events.size(), h.metrics.detectedCensus().total());
+
+  double airtime = 0.0;
+  std::uint64_t identified = 0;
+  std::uint64_t singles = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const SlotEvent& e = events[i];
+    EXPECT_EQ(e.index, i);
+    airtime += e.durationMicros;
+    identified += e.identified;
+    if (e.detectedType == rfid::phy::SlotType::kSingle) ++singles;
+    // Start times are the running airtime prefix.
+    if (i > 0) {
+      EXPECT_NEAR(e.startMicros,
+                  events[i - 1].startMicros + events[i - 1].durationMicros,
+                  1e-9);
+    }
+  }
+  EXPECT_NEAR(airtime, h.metrics.totalAirtimeMicros(), 1e-6);
+  EXPECT_EQ(identified, h.metrics.identified());
+  EXPECT_EQ(singles, h.metrics.detectedCensus().single);
+}
+
+TEST(Trace, EventTypesMatchCensus) {
+  Harness h(40, 12);
+  RecordingObserver observer;
+  h.engine.setObserver(&observer);
+  FramedSlottedAloha fsa(32);
+  ASSERT_TRUE(fsa.run(h.engine, h.tags, h.rng));
+  std::uint64_t idle = 0, collided = 0;
+  for (const SlotEvent& e : observer.events()) {
+    if (e.detectedType == rfid::phy::SlotType::kIdle) ++idle;
+    if (e.detectedType == rfid::phy::SlotType::kCollided) ++collided;
+    if (e.trueType == rfid::phy::SlotType::kIdle) {
+      EXPECT_EQ(e.responders, 0u);
+    } else if (e.trueType == rfid::phy::SlotType::kSingle) {
+      EXPECT_EQ(e.responders, 1u);
+    } else {
+      EXPECT_GE(e.responders, 2u);
+    }
+  }
+  EXPECT_EQ(idle, h.metrics.detectedCensus().idle);
+  EXPECT_EQ(collided, h.metrics.detectedCensus().collided);
+}
+
+TEST(Trace, CsvIsWellFormed) {
+  Harness h(20, 13);
+  std::ostringstream csv;
+  CsvTraceWriter writer(csv);
+  h.engine.setObserver(&writer);
+  FramedSlottedAloha fsa(16);
+  ASSERT_TRUE(fsa.run(h.engine, h.tags, h.rng));
+
+  std::istringstream lines(csv.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line,
+            "slot,true_type,detected_type,responders,start_us,duration_us,"
+            "identified");
+  std::size_t rows = 0;
+  while (std::getline(lines, line)) {
+    ++rows;
+    // 6 commas per data row.
+    EXPECT_EQ(static_cast<std::size_t>(
+                  std::count(line.begin(), line.end(), ',')),
+              6u)
+        << line;
+  }
+  EXPECT_EQ(rows, h.metrics.detectedCensus().total());
+}
+
+TEST(Trace, DetachStopsEvents) {
+  Harness h(10, 14);
+  RecordingObserver observer;
+  h.engine.setObserver(&observer);
+  const std::size_t one[] = {0};
+  (void)h.engine.runSlot(h.tags, one, h.rng);
+  EXPECT_EQ(observer.events().size(), 1u);
+  h.engine.setObserver(nullptr);
+  const std::size_t two[] = {1};
+  (void)h.engine.runSlot(h.tags, two, h.rng);
+  EXPECT_EQ(observer.events().size(), 1u);
+}
+
+}  // namespace
