@@ -1,0 +1,212 @@
+// Slot hot-path microbench: legacy allocating slot loop vs
+// SlotEngine::runSlot on an identical slot schedule.
+//
+// Two claims are checked, not just measured:
+//   1. steady-state slots through the engine perform ZERO heap allocations
+//      (counted by replacing global operator new/delete) — the process exits
+//      nonzero if any slip in;
+//   2. the in-place path is faster than the legacy one (both slots/sec are
+//      reported; the driver compares against the >= 2x acceptance bar).
+// Results land in BENCH_slot.json in the working directory.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "common/rng.hpp"
+#include "core/detection_scheme.hpp"
+#include "phy/channel.hpp"
+#include "sim/engine.hpp"
+#include "sim/metrics.hpp"
+#include "tags/population.hpp"
+
+namespace {
+std::atomic<std::uint64_t> gAllocCount{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  gAllocCount.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) {
+    return p;
+  }
+  throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t n) { return ::operator new(n); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using rfid::common::BitVec;
+using rfid::common::Rng;
+using rfid::core::QcdScheme;
+using rfid::phy::OrChannel;
+using rfid::phy::SlotType;
+using rfid::sim::Metrics;
+using rfid::sim::SlotEngine;
+using rfid::tags::Tag;
+
+/// The pre-refactor slot body: a fresh transmission vector per slot, the
+/// allocating contentionSignal/superpose forms, and the same classification
+/// and identification handshake the engine performs.
+SlotType legacySlot(const rfid::core::DetectionScheme& scheme,
+                    rfid::phy::Channel& channel, Metrics& metrics,
+                    std::span<Tag> tags,
+                    std::span<const std::size_t> responders, Rng& rng) {
+  std::vector<BitVec> tx;
+  tx.reserve(responders.size());
+  for (const std::size_t idx : responders) {
+    const Tag& tag = tags[idx];
+    tx.push_back(tag.blocker ? BitVec(scheme.contentionBits(), true)
+                             : scheme.contentionSignal(tag, rng));
+  }
+  const rfid::phy::Reception reception = channel.superpose(tx, rng);
+  const SlotType trueType = responders.empty()    ? SlotType::kIdle
+                            : responders.size() == 1 ? SlotType::kSingle
+                                                     : SlotType::kCollided;
+  const SlotType detected = scheme.classify(reception.signal,
+                                            responders.size());
+  metrics.recordSlot(
+      trueType, detected,
+      scheme.air().bitsToMicros(scheme.timing().bitsFor(detected)));
+  if (detected == SlotType::kSingle) {
+    const double now = metrics.nowMicros();
+    if (reception.capturedIndex.has_value()) {
+      Tag& tag = tags[responders[*reception.capturedIndex]];
+      if (!tag.blocker) {
+        tag.believesIdentified = true;
+        tag.correctlyIdentified = true;
+        tag.identifiedAtMicros = now;
+        metrics.recordIdentification(true, now);
+      }
+    } else {
+      std::uint64_t silenced = 0;
+      for (const std::size_t idx : responders) {
+        Tag& tag = tags[idx];
+        if (tag.blocker) continue;
+        tag.believesIdentified = true;
+        tag.correctlyIdentified = false;
+        tag.identifiedAtMicros = now;
+        metrics.recordIdentification(false, now);
+        ++silenced;
+      }
+      metrics.recordPhantom(silenced);
+    }
+  }
+  return detected;
+}
+
+double secondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  // A mixed schedule: idle slots, lone responders, small and large
+  // collisions — the shapes every protocol produces.
+  const std::vector<std::vector<std::size_t>> kSchedule = {
+      {},  {0}, {1, 2},  {3, 4, 5, 6, 7}, {8},
+      {9}, {},  {10, 11}, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}, {12},
+  };
+  constexpr std::size_t kMeasuredSlots = 1'000'000;
+  constexpr std::uint64_t kSeed = 20100913;
+
+  const rfid::phy::AirInterface air{};
+  const QcdScheme scheme(air, 8);
+  OrChannel channel;
+
+  Rng setupRng(kSeed);
+  const std::vector<Tag> initialTags =
+      rfid::tags::makeUniformPopulation(16, air.idBits, setupRng);
+
+  // --- legacy allocating path ---------------------------------------------
+  double legacySlotsPerSec = 0.0;
+  std::uint64_t legacyAllocs = 0;
+  {
+    std::vector<Tag> tags = initialTags;
+    Metrics metrics;
+    metrics.reserveIdentifications(2 * kMeasuredSlots);
+    Rng rng(kSeed);
+    for (const auto& responders : kSchedule) {  // warmup, parity with below
+      legacySlot(scheme, channel, metrics, tags, responders, rng);
+    }
+    const std::uint64_t allocsBefore =
+        gAllocCount.load(std::memory_order_relaxed);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t s = 0; s < kMeasuredSlots; ++s) {
+      legacySlot(scheme, channel, metrics, tags,
+                 kSchedule[s % kSchedule.size()], rng);
+    }
+    const double elapsed = secondsSince(t0);
+    legacyAllocs = gAllocCount.load(std::memory_order_relaxed) - allocsBefore;
+    legacySlotsPerSec = static_cast<double>(kMeasuredSlots) / elapsed;
+  }
+
+  // --- engine hot path ----------------------------------------------------
+  double hotSlotsPerSec = 0.0;
+  std::uint64_t hotAllocs = 0;
+  {
+    std::vector<Tag> tags = initialTags;
+    Metrics metrics;
+    metrics.reserveIdentifications(2 * kMeasuredSlots);
+    SlotEngine engine(scheme, channel, metrics);
+    Rng rng(kSeed);
+    for (const auto& responders : kSchedule) {  // warmup to high-water marks
+      engine.runSlot(tags, responders, rng);
+    }
+    const std::uint64_t allocsBefore =
+        gAllocCount.load(std::memory_order_relaxed);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t s = 0; s < kMeasuredSlots; ++s) {
+      engine.runSlot(tags, kSchedule[s % kSchedule.size()], rng);
+    }
+    const double elapsed = secondsSince(t0);
+    hotAllocs = gAllocCount.load(std::memory_order_relaxed) - allocsBefore;
+    hotSlotsPerSec = static_cast<double>(kMeasuredSlots) / elapsed;
+  }
+
+  const double speedup = hotSlotsPerSec / legacySlotsPerSec;
+  std::printf("legacy : %12.0f slots/sec  (%llu allocs / %zu slots)\n",
+              legacySlotsPerSec, static_cast<unsigned long long>(legacyAllocs),
+              kMeasuredSlots);
+  std::printf("engine : %12.0f slots/sec  (%llu allocs / %zu slots)\n",
+              hotSlotsPerSec, static_cast<unsigned long long>(hotAllocs),
+              kMeasuredSlots);
+  std::printf("speedup: %.2fx\n", speedup);
+
+  if (std::FILE* f = std::fopen("BENCH_slot.json", "w")) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"legacy_slots_per_sec\": %.0f,\n"
+                 "  \"hot_slots_per_sec\": %.0f,\n"
+                 "  \"speedup\": %.3f,\n"
+                 "  \"legacy_allocs\": %llu,\n"
+                 "  \"steady_state_allocs\": %llu,\n"
+                 "  \"slots_measured\": %zu\n"
+                 "}\n",
+                 legacySlotsPerSec, hotSlotsPerSec, speedup,
+                 static_cast<unsigned long long>(legacyAllocs),
+                 static_cast<unsigned long long>(hotAllocs), kMeasuredSlots);
+    std::fclose(f);
+  }
+
+  if (hotAllocs != 0) {
+    std::fprintf(stderr,
+                 "FAIL: engine hot path performed %llu heap allocations at "
+                 "steady state (expected 0)\n",
+                 static_cast<unsigned long long>(hotAllocs));
+    return 1;
+  }
+  return 0;
+}

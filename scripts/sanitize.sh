@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Sanitizer sweep over the tier-1 suite.
+#
+# Two configurations, mirroring what each sanitizer can actually see:
+#   * ASan + UBSan over the full ctest suite (memory errors, UB);
+#   * TSan over the concurrency surface only — the thread pool and the
+#     parallel Monte-Carlo runner — since TSan's runtime is too slow for the
+#     whole matrix and the rest of the library is single-threaded.
+# Builds live in build-asan/ and build-tsan/ so they never disturb the
+# primary build/ tree.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "=== ASan + UBSan: full test suite ==="
+cmake -B build-asan -S . -DRFID_SANITIZE=address,undefined \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-asan -j
+ctest --test-dir build-asan --output-on-failure -j"$(nproc)"
+
+echo "=== TSan: thread pool + Monte-Carlo ==="
+cmake -B build-tsan -S . -DRFID_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-tsan -j --target test_thread_pool test_montecarlo
+ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
+  -R 'ThreadPool|MonteCarlo'
+
+echo "sanitize: all clean"

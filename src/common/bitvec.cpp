@@ -1,5 +1,6 @@
 #include "common/bitvec.hpp"
 
+#include <algorithm>
 #include <bit>
 
 #include "common/require.hpp"
@@ -13,14 +14,67 @@ BitVec::BitVec(std::size_t nbits, bool value)
 }
 
 BitVec BitVec::fromUint(std::uint64_t value, std::size_t nbits) {
+  BitVec v;
+  v.assignUint(value, nbits);
+  return v;
+}
+
+void BitVec::resize(std::size_t nbits, bool value) {
+  const std::size_t oldSize = size_;
+  if (nbits == oldSize) return;
+  words_.resize(wordCount(nbits), 0);
+  size_ = nbits;
+  if (nbits > oldSize && value) {
+    const std::size_t firstWord = oldSize / kWordBits;
+    if (firstWord < words_.size()) {
+      words_[firstWord] |= ~std::uint64_t{0} << (oldSize % kWordBits);
+      for (std::size_t w = firstWord + 1; w < words_.size(); ++w) {
+        words_[w] = ~std::uint64_t{0};
+      }
+    }
+  }
+  clearPadding();
+}
+
+void BitVec::assignUint(std::uint64_t value, std::size_t nbits) {
   RFID_REQUIRE(nbits <= 64, "fromUint supports at most 64 bits");
   RFID_REQUIRE(nbits == 64 || (value >> nbits) == 0,
                "value does not fit in nbits bits");
-  BitVec v(nbits);
-  if (nbits > 0) {
-    v.words_[0] = value;
+  words_.resize(wordCount(nbits));
+  size_ = nbits;
+  if (!words_.empty()) {
+    words_[0] = value;
   }
-  return v;
+}
+
+void BitVec::assignFill(std::size_t nbits, bool value) {
+  words_.resize(wordCount(nbits));
+  size_ = nbits;
+  std::fill(words_.begin(), words_.end(),
+            value ? ~std::uint64_t{0} : std::uint64_t{0});
+  clearPadding();
+}
+
+void BitVec::assignOr(const BitVec& a, const BitVec& b) {
+  RFID_REQUIRE(a.size_ == b.size_, "operands must have equal size");
+  words_.resize(a.words_.size());
+  size_ = a.size_;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] = a.words_[i] | b.words_[i];
+  }
+}
+
+std::uint64_t BitVec::word(std::size_t i) const {
+  RFID_REQUIRE(i < words_.size(), "word index out of range");
+  return words_[i];
+}
+
+void BitVec::setWord(std::size_t i, std::uint64_t value) {
+  RFID_REQUIRE(i < words_.size(), "word index out of range");
+  words_[i] = value;
+  if (i + 1 == words_.size()) {
+    clearPadding();
+  }
 }
 
 BitVec BitVec::fromString(std::string_view bits) {
@@ -117,26 +171,57 @@ BitVec BitVec::complemented() const {
 }
 
 BitVec BitVec::concat(const BitVec& rhs) const {
-  BitVec out(size_ + rhs.size_);
-  out.words_ = words_;
-  out.words_.resize(wordCount(out.size_), 0);
-  // Splice rhs in starting at bit offset size_.
-  const std::size_t shift = size_ % kWordBits;
-  const std::size_t base = size_ / kWordBits;
-  for (std::size_t i = 0; i < rhs.words_.size(); ++i) {
-    const std::uint64_t w = rhs.words_[i];
-    out.words_[base + i] |= (shift == 0) ? w : (w << shift);
-    if (shift != 0 && base + i + 1 < out.words_.size()) {
-      out.words_[base + i + 1] |= w >> (kWordBits - shift);
-    }
-  }
-  out.clearPadding();
+  BitVec out = *this;
+  out.concatInto(rhs);
   return out;
 }
 
+BitVec& BitVec::concatInto(const BitVec& rhs) {
+  RFID_REQUIRE(&rhs != this, "concatInto cannot alias its operand");
+  // Splice rhs in starting at bit offset size_ (the old padding bits are
+  // canonically zero, so OR-ing into the partial last word is safe).
+  const std::size_t shift = size_ % kWordBits;
+  const std::size_t base = size_ / kWordBits;
+  size_ += rhs.size_;
+  words_.resize(wordCount(size_), 0);
+  for (std::size_t i = 0; i < rhs.words_.size(); ++i) {
+    const std::uint64_t w = rhs.words_[i];
+    words_[base + i] |= (shift == 0) ? w : (w << shift);
+    if (shift != 0 && base + i + 1 < words_.size()) {
+      words_[base + i + 1] |= w >> (kWordBits - shift);
+    }
+  }
+  clearPadding();
+  return *this;
+}
+
+void BitVec::appendUint(std::uint64_t value, std::size_t nbits) {
+  RFID_REQUIRE(nbits <= 64, "appendUint supports at most 64 bits");
+  RFID_REQUIRE(nbits == 64 || (value >> nbits) == 0,
+               "value does not fit in nbits bits");
+  if (nbits == 0) return;
+  const std::size_t shift = size_ % kWordBits;
+  const std::size_t base = size_ / kWordBits;
+  size_ += nbits;
+  words_.resize(wordCount(size_), 0);
+  words_[base] |= (shift == 0) ? value : (value << shift);
+  if (shift != 0 && base + 1 < words_.size()) {
+    words_[base + 1] |= value >> (kWordBits - shift);
+  }
+  clearPadding();
+}
+
 BitVec BitVec::slice(std::size_t pos, std::size_t len) const {
+  BitVec out;
+  sliceInto(pos, len, out);
+  return out;
+}
+
+void BitVec::sliceInto(std::size_t pos, std::size_t len, BitVec& out) const {
+  RFID_REQUIRE(&out != this, "sliceInto cannot alias its source");
   RFID_REQUIRE(pos + len <= size_, "slice out of range");
-  BitVec out(len);
+  out.words_.resize(wordCount(len));
+  out.size_ = len;
   const std::size_t shift = pos % kWordBits;
   const std::size_t base = pos / kWordBits;
   for (std::size_t i = 0; i < out.words_.size(); ++i) {
@@ -147,7 +232,6 @@ BitVec BitVec::slice(std::size_t pos, std::size_t len) const {
     out.words_[i] = w;
   }
   out.clearPadding();
-  return out;
 }
 
 std::uint64_t BitVec::toUint() const {

@@ -12,7 +12,12 @@
 //   * toString() renders most-significant / last-transmitted bit first, so
 //     fromString("0110").toString() == "0110";
 //   * all binary operators require operands of equal size — superposed
-//     signals in a slot are time-aligned and equally long (§IV-A).
+//     signals in a slot are time-aligned and equally long (§IV-A);
+//   * every allocating operation (fromUint, concat, slice, complemented, …)
+//     has an in-place `assign*`/`*Into` counterpart that reuses the
+//     receiver's word storage. The simulation hot path (one contention slot)
+//     is built exclusively from the in-place forms so steady-state slots
+//     perform zero heap allocations; the allocating forms delegate to them.
 #pragma once
 
 #include <cstddef>
@@ -42,8 +47,34 @@ class BitVec {
   std::size_t size() const noexcept { return size_; }
   bool empty() const noexcept { return size_ == 0; }
 
+  /// Resizes to `nbits`, keeping the first min(size, nbits) bits and
+  /// initialising any new bits to `value`. Word storage is reused; shrinking
+  /// never releases capacity.
+  void resize(std::size_t nbits, bool value = false);
+
+  /// In-place fromUint: *this becomes the low `nbits` bits of `value`.
+  /// Same preconditions as fromUint; reuses the existing word storage.
+  void assignUint(std::uint64_t value, std::size_t nbits);
+
+  /// In-place BitVec(nbits, value): every bit set to `value`.
+  void assignFill(std::size_t nbits, bool value);
+
+  /// *this = a | b without allocating (beyond growing the word storage to
+  /// a's word count the first time). Sizes of a and b must match; either
+  /// operand may alias *this.
+  void assignOr(const BitVec& a, const BitVec& b);
+
   bool test(std::size_t i) const;
   void set(std::size_t i, bool value);
+
+  /// Number of 64-bit words backing the vector (ceil(size / 64)).
+  std::size_t words() const noexcept { return words_.size(); }
+  /// Word `i` of the packed representation; bit b of the word is bit
+  /// 64·i + b of the vector. Unused high bits of the last word are zero.
+  std::uint64_t word(std::size_t i) const;
+  /// Overwrites word `i`. Bits beyond size() in the last word are cleared,
+  /// preserving the canonical representation equality/popcount rely on.
+  void setWord(std::size_t i, std::uint64_t value);
 
   /// True if at least one bit is 1 (an OR-channel carries energy).
   bool any() const noexcept;
@@ -74,8 +105,20 @@ class BitVec {
   /// (the paper's ⊕ operator, e.g. the collision preamble r ⊕ f(r)).
   BitVec concat(const BitVec& rhs) const;
 
+  /// In-place concatenation: appends `rhs` after the current bits, reusing
+  /// the word storage. `rhs` must not alias *this.
+  BitVec& concatInto(const BitVec& rhs);
+
+  /// Appends the low `nbits` bits of `value` (fromUint semantics) after the
+  /// current bits, in place.
+  void appendUint(std::uint64_t value, std::size_t nbits);
+
   /// Copies `len` bits starting at `pos` (in transmission order).
   BitVec slice(std::size_t pos, std::size_t len) const;
+
+  /// In-place slice: writes the `len` bits starting at `pos` into `out`,
+  /// reusing out's word storage. `out` must not alias *this.
+  void sliceInto(std::size_t pos, std::size_t len, BitVec& out) const;
 
   /// Integer view of the whole vector. Requires size() <= 64.
   std::uint64_t toUint() const;

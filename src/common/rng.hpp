@@ -41,11 +41,16 @@ class Rng {
   }
 
   /// Independent stream `stream` of master seed `seed` (for Monte-Carlo
-  /// round parallelism).
+  /// round parallelism). Both inputs are fed through splitmix64 — mix the
+  /// master seed, offset the mixed state by the stream index, mix again —
+  /// so every bit of (seed, stream) diffuses through two full mixers. (The
+  /// earlier linear-in-stream XOR/add derivation could correlate adjacent
+  /// streams.)
   static Rng forStream(std::uint64_t seed, std::uint64_t stream) noexcept {
     std::uint64_t sm = seed;
-    const std::uint64_t mixed = splitmix64(sm) ^ (stream * 0x9e3779b97f4a7c15ull);
-    return Rng(mixed + stream);
+    std::uint64_t state = splitmix64(sm);
+    state += stream;
+    return Rng(splitmix64(state));
   }
 
   static constexpr result_type min() noexcept { return 0; }
@@ -98,21 +103,18 @@ class Rng {
   /// Bernoulli trial with success probability p.
   bool chance(double p) { return real() < p; }
 
-  /// Uniformly random bit vector of `nbits` bits.
+  /// Uniformly random bit vector of `nbits` bits. Writes whole 64-bit words
+  /// through the BitVec word accessor; bit 64·i + b of the result is bit b
+  /// of the i-th draw, matching the historical bit-at-a-time construction.
   BitVec bitvec(std::size_t nbits) {
     BitVec v(nbits);
-    std::size_t i = 0;
-    for (; i + 64 <= nbits; i += 64) {
-      const std::uint64_t w = (*this)();
-      for (unsigned b = 0; b < 64; ++b) {
-        if ((w >> b) & 1u) v.set(i + b, true);
-      }
+    const std::size_t full = nbits / 64;
+    for (std::size_t i = 0; i < full; ++i) {
+      v.setWord(i, (*this)());
     }
-    if (i < nbits) {
-      const std::uint64_t w = bits(static_cast<unsigned>(nbits - i));
-      for (std::size_t b = 0; i + b < nbits; ++b) {
-        if ((w >> b) & 1u) v.set(i + b, true);
-      }
+    const std::size_t rem = nbits % 64;
+    if (rem != 0) {
+      v.setWord(full, bits(static_cast<unsigned>(rem)));
     }
     return v;
   }

@@ -13,6 +13,12 @@ BitVec DetectionScheme::idFromContention(const BitVec& /*signal*/) const {
                             "this scheme has no ID in the contention signal");
 }
 
+void DetectionScheme::contentionSignalInto(const tags::Tag& tag,
+                                           common::Rng& tagRng,
+                                           BitVec& out) const {
+  out = contentionSignal(tag, tagRng);
+}
+
 // --- CRC-CD ----------------------------------------------------------------
 
 CrcCdScheme::CrcCdScheme(phy::AirInterface air, crc::CrcSpec spec)
@@ -33,10 +39,19 @@ std::size_t CrcCdScheme::contentionBits() const {
 }
 
 BitVec CrcCdScheme::contentionSignal(const tags::Tag& tag,
-                                     common::Rng& /*tagRng*/) const {
+                                     common::Rng& tagRng) const {
+  BitVec out;
+  contentionSignalInto(tag, tagRng, out);
+  return out;
+}
+
+void CrcCdScheme::contentionSignalInto(const tags::Tag& tag,
+                                       common::Rng& /*tagRng*/,
+                                       BitVec& out) const {
   RFID_REQUIRE(tag.id.size() == air().idBits,
                "tag ID length must match the air interface");
-  return tag.id.concat(engine_.codeFor(tag.id));
+  out = tag.id;
+  out.appendUint(engine_.computeBits(tag.id), engine_.spec().width);
 }
 
 SlotType CrcCdScheme::classify(const std::optional<BitVec>& signal,
@@ -79,9 +94,16 @@ std::string QcdScheme::name() const {
 
 std::size_t QcdScheme::contentionBits() const { return preamble_.bits(); }
 
-BitVec QcdScheme::contentionSignal(const tags::Tag& /*tag*/,
+BitVec QcdScheme::contentionSignal(const tags::Tag& tag,
                                    common::Rng& tagRng) const {
-  return preamble_.encode(preamble_.draw(tagRng));
+  BitVec out;
+  contentionSignalInto(tag, tagRng, out);
+  return out;
+}
+
+void QcdScheme::contentionSignalInto(const tags::Tag& /*tag*/,
+                                     common::Rng& tagRng, BitVec& out) const {
+  preamble_.encodeInto(preamble_.draw(tagRng), out);
 }
 
 SlotType QcdScheme::classify(const std::optional<BitVec>& signal,
@@ -123,11 +145,19 @@ std::size_t CrcPreambleScheme::contentionBits() const {
   return randomBits_ + engine_.spec().width;
 }
 
-BitVec CrcPreambleScheme::contentionSignal(const tags::Tag& /*tag*/,
+BitVec CrcPreambleScheme::contentionSignal(const tags::Tag& tag,
                                            common::Rng& tagRng) const {
-  const BitVec r =
-      BitVec::fromUint(tagRng.between(1, maxR_), randomBits_);
-  return r.concat(engine_.codeFor(r));
+  BitVec out;
+  contentionSignalInto(tag, tagRng, out);
+  return out;
+}
+
+void CrcPreambleScheme::contentionSignalInto(const tags::Tag& /*tag*/,
+                                             common::Rng& tagRng,
+                                             BitVec& out) const {
+  // The CRC is computed over `out` while it still holds only the r part.
+  out.assignUint(tagRng.between(1, maxR_), randomBits_);
+  out.appendUint(engine_.computeBits(out), engine_.spec().width);
 }
 
 SlotType CrcPreambleScheme::classify(const std::optional<BitVec>& signal,
@@ -159,6 +189,12 @@ std::size_t IdealScheme::contentionBits() const { return air().idBits; }
 BitVec IdealScheme::contentionSignal(const tags::Tag& tag,
                                      common::Rng& /*tagRng*/) const {
   return tag.id;
+}
+
+void IdealScheme::contentionSignalInto(const tags::Tag& tag,
+                                       common::Rng& /*tagRng*/,
+                                       BitVec& out) const {
+  out = tag.id;
 }
 
 SlotType IdealScheme::classify(const std::optional<BitVec>& /*signal*/,

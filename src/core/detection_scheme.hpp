@@ -44,6 +44,15 @@ class DetectionScheme {
   virtual common::BitVec contentionSignal(const tags::Tag& tag,
                                           common::Rng& tagRng) const = 0;
 
+  /// In-place variant of contentionSignal: writes the contention bits into
+  /// `out`, reusing its word storage. The slot engine calls this on
+  /// per-responder scratch so steady-state slots perform zero heap
+  /// allocations; every built-in scheme overrides it allocation-free. The
+  /// base implementation falls back to the allocating form so custom
+  /// schemes stay correct without overriding.
+  virtual void contentionSignalInto(const tags::Tag& tag, common::Rng& tagRng,
+                                    common::BitVec& out) const;
+
   /// Classifies the superposed contention signal. `trueResponders` is
   /// ground truth available only to oracle schemes (the ideal lower bound);
   /// physical schemes must ignore it.
@@ -87,6 +96,8 @@ class CrcCdScheme final : public DetectionScheme {
   std::size_t contentionBits() const override;
   common::BitVec contentionSignal(const tags::Tag& tag,
                                   common::Rng& tagRng) const override;
+  void contentionSignalInto(const tags::Tag& tag, common::Rng& tagRng,
+                            common::BitVec& out) const override;
   phy::SlotType classify(const std::optional<common::BitVec>& signal,
                          std::size_t trueResponders) const override;
   bool idIsInContention() const override { return true; }
@@ -117,6 +128,8 @@ class QcdScheme final : public DetectionScheme {
   std::size_t contentionBits() const override;
   common::BitVec contentionSignal(const tags::Tag& tag,
                                   common::Rng& tagRng) const override;
+  void contentionSignalInto(const tags::Tag& tag, common::Rng& tagRng,
+                            common::BitVec& out) const override;
   phy::SlotType classify(const std::optional<common::BitVec>& signal,
                          std::size_t trueResponders) const override;
   bool idIsInContention() const override { return false; }
@@ -149,6 +162,8 @@ class CrcPreambleScheme final : public DetectionScheme {
   std::size_t contentionBits() const override;
   common::BitVec contentionSignal(const tags::Tag& tag,
                                   common::Rng& tagRng) const override;
+  void contentionSignalInto(const tags::Tag& tag, common::Rng& tagRng,
+                            common::BitVec& out) const override;
   phy::SlotType classify(const std::optional<common::BitVec>& signal,
                          std::size_t trueResponders) const override;
   bool idIsInContention() const override { return false; }
@@ -174,6 +189,8 @@ class IdealScheme final : public DetectionScheme {
   std::size_t contentionBits() const override;
   common::BitVec contentionSignal(const tags::Tag& tag,
                                   common::Rng& tagRng) const override;
+  void contentionSignalInto(const tags::Tag& tag, common::Rng& tagRng,
+                            common::BitVec& out) const override;
   phy::SlotType classify(const std::optional<common::BitVec>& signal,
                          std::size_t trueResponders) const override;
   bool idIsInContention() const override { return true; }

@@ -21,17 +21,38 @@ std::uint64_t QcdPreamble::draw(common::Rng& rng) const {
 }
 
 BitVec QcdPreamble::encode(std::uint64_t r) const {
+  BitVec out;
+  encodeInto(r, out);
+  return out;
+}
+
+void QcdPreamble::encodeInto(std::uint64_t r, BitVec& out) const {
   RFID_REQUIRE(r >= 1 && r <= maxR_, "r must be a positive l-bit integer");
-  const BitVec rv = BitVec::fromUint(r, strength_);
-  return rv.concat(rv.complemented());
+  // f(r) = ~r restricted to l bits is r ^ maxR_; the whole preamble is one
+  // or two word-level stores.
+  out.assignUint(r, strength_);
+  out.appendUint(r ^ maxR_, strength_);
 }
 
 QcdPreamble::Verdict QcdPreamble::inspect(const BitVec& superposed) const {
   RFID_REQUIRE(superposed.size() == bits(),
                "superposed preamble has the wrong length");
-  const BitVec r = superposed.slice(0, strength_);
-  const BitVec c = superposed.slice(strength_, strength_);
-  return c == r.complemented() ? Verdict::kSingle : Verdict::kCollided;
+  // r′ occupies bits [0, l), c′ bits [l, 2l); with l ≤ 64 both live in the
+  // first two words, so the check c′ == ~r′ is pure word arithmetic.
+  const std::uint64_t w0 = superposed.word(0);
+  std::uint64_t rp, cp;
+  if (strength_ == 64) {
+    rp = w0;
+    cp = superposed.word(1);
+  } else if (2ull * strength_ <= 64) {
+    rp = w0 & maxR_;
+    cp = (w0 >> strength_) & maxR_;
+  } else {
+    rp = w0 & maxR_;
+    cp = ((w0 >> strength_) | (superposed.word(1) << (64u - strength_))) &
+         maxR_;
+  }
+  return cp == (rp ^ maxR_) ? Verdict::kSingle : Verdict::kCollided;
 }
 
 double QcdPreamble::evasionProbability(unsigned strength, std::size_t m) {

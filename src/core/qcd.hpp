@@ -37,6 +37,12 @@ class QcdPreamble {
   /// Encodes r ⊕ f(r) for transmission (r occupies the first l bit-times).
   common::BitVec encode(std::uint64_t r) const;
 
+  /// In-place encode: writes r ⊕ f(r) into `out`, reusing its storage —
+  /// the slot hot path's allocation-free variant. Because strength ≤ 64,
+  /// the preamble occupies at most two 64-bit words and is assembled with
+  /// word-level stores (no slice/complement temporaries).
+  void encodeInto(std::uint64_t r, common::BitVec& out) const;
+
   enum class Verdict : std::uint8_t { kSingle, kCollided };
 
   /// Algorithm 1 applied to a non-zero superposed preamble. The caller
@@ -45,7 +51,12 @@ class QcdPreamble {
   Verdict inspect(const common::BitVec& superposed) const;
 
   /// Probability that m concurrent responders evade detection (all drew the
-  /// same r): (2^l − 1)^−(m−1); 0 for m ≤ 1.
+  /// same r): (2^l − 1)^−(m−1); 0 for m ≤ 1. The paper states 2^−l(m−1),
+  /// i.e. (2^l)^−(m−1), which would be exact for r drawn uniformly from all
+  /// 2^l values — but r is a *positive* l-bit integer (r ∈ [1, 2^l − 1],
+  /// §IV-A; r = 0 would make the preamble carry energy in only half its
+  /// bits), so the exact evasion probability has base 2^l − 1. The paper's
+  /// figure is the large-l approximation; see DESIGN.md §2.
   static double evasionProbability(unsigned strength, std::size_t m);
 
  private:

@@ -8,29 +8,44 @@ using common::BitVec;
 
 namespace {
 
-BitVec orAll(std::span<const BitVec> transmissions) {
-  BitVec sum = transmissions.front();
+/// Engages out.signal (keeping any existing word storage) and returns it.
+BitVec& signalScratch(Reception& out) {
+  if (!out.signal.has_value()) {
+    out.signal.emplace();
+  }
+  return *out.signal;
+}
+
+void orAllInto(std::span<const BitVec> transmissions, Reception& out) {
+  BitVec& sum = signalScratch(out);
+  sum = transmissions.front();
   for (std::size_t i = 1; i < transmissions.size(); ++i) {
     RFID_REQUIRE(transmissions[i].size() == sum.size(),
                  "superposed signals must be equally long");
     sum |= transmissions[i];
   }
-  return sum;
 }
 
 }  // namespace
 
-Reception OrChannel::superpose(std::span<const BitVec> transmissions,
-                               common::Rng& /*rng*/) {
-  if (transmissions.empty()) {
-    return Reception{};
-  }
+Reception Channel::superpose(std::span<const BitVec> transmissions,
+                             common::Rng& rng) {
   Reception r;
-  r.signal = orAll(transmissions);
-  if (transmissions.size() == 1) {
-    r.capturedIndex = 0;
-  }
+  superposeInto(transmissions, rng, r);
   return r;
+}
+
+void OrChannel::superposeInto(std::span<const BitVec> transmissions,
+                              common::Rng& /*rng*/, Reception& out) {
+  out.capturedIndex.reset();
+  if (transmissions.empty()) {
+    out.signal.reset();
+    return;
+  }
+  orAllInto(transmissions, out);
+  if (transmissions.size() == 1) {
+    out.capturedIndex = 0;
+  }
 }
 
 CaptureChannel::CaptureChannel(double captureProbability)
@@ -39,25 +54,25 @@ CaptureChannel::CaptureChannel(double captureProbability)
                "capture probability must be in [0, 1]");
 }
 
-Reception CaptureChannel::superpose(std::span<const BitVec> transmissions,
-                                    common::Rng& rng) {
+void CaptureChannel::superposeInto(std::span<const BitVec> transmissions,
+                                   common::Rng& rng, Reception& out) {
+  out.capturedIndex.reset();
   if (transmissions.empty()) {
-    return Reception{};
+    out.signal.reset();
+    return;
   }
-  Reception r;
   if (transmissions.size() == 1) {
-    r.signal = transmissions.front();
-    r.capturedIndex = 0;
-    return r;
+    signalScratch(out) = transmissions.front();
+    out.capturedIndex = 0;
+    return;
   }
   if (rng.chance(p_)) {
     const std::size_t winner = rng.below(transmissions.size());
-    r.signal = transmissions[winner];
-    r.capturedIndex = winner;
-    return r;
+    signalScratch(out) = transmissions[winner];
+    out.capturedIndex = winner;
+    return;
   }
-  r.signal = orAll(transmissions);
-  return r;
+  orAllInto(transmissions, out);
 }
 
 }  // namespace rfid::phy

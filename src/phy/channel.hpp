@@ -18,7 +18,10 @@
 
 namespace rfid::phy {
 
-/// What the reader's front end delivers for one slot.
+/// What the reader's front end delivers for one slot. A Reception is also
+/// the channel's scratch object: superposeInto() reuses `signal`'s word
+/// storage across slots, so a caller that keeps one Reception alive (as the
+/// slot engine does) receives every busy slot without heap allocation.
 struct Reception {
   /// Demodulated bits; nullopt when no tag transmitted (no RF energy).
   std::optional<common::BitVec> signal;
@@ -32,17 +35,26 @@ class Channel {
  public:
   virtual ~Channel() = default;
 
-  /// Superposes the time-aligned transmissions of one slot. All signals must
-  /// have equal length (§IV-A: |s| = |s₁| = … = |s_m|).
-  virtual Reception superpose(std::span<const common::BitVec> transmissions,
-                              common::Rng& rng) = 0;
+  /// Superposes the time-aligned transmissions of one slot into the
+  /// caller-owned `out`, reusing out.signal's storage when it is already
+  /// engaged. All signals must have equal length (§IV-A:
+  /// |s| = |s₁| = … = |s_m|). This is the primitive the slot engine drives;
+  /// note that an empty transmission set disengages out.signal (dropping its
+  /// scratch storage), so allocation-sensitive callers should skip the
+  /// channel entirely for idle slots.
+  virtual void superposeInto(std::span<const common::BitVec> transmissions,
+                             common::Rng& rng, Reception& out) = 0;
+
+  /// Allocating convenience wrapper over superposeInto.
+  Reception superpose(std::span<const common::BitVec> transmissions,
+                      common::Rng& rng);
 };
 
 /// The paper's model: pure bitwise Boolean sum, no capture.
 class OrChannel final : public Channel {
  public:
-  Reception superpose(std::span<const common::BitVec> transmissions,
-                      common::Rng& rng) override;
+  void superposeInto(std::span<const common::BitVec> transmissions,
+                     common::Rng& rng, Reception& out) override;
 };
 
 /// OR channel with capture: when m ≥ 2 tags collide, with probability
@@ -51,8 +63,8 @@ class CaptureChannel final : public Channel {
  public:
   explicit CaptureChannel(double captureProbability);
 
-  Reception superpose(std::span<const common::BitVec> transmissions,
-                      common::Rng& rng) override;
+  void superposeInto(std::span<const common::BitVec> transmissions,
+                     common::Rng& rng, Reception& out) override;
 
   double captureProbability() const noexcept { return p_; }
 

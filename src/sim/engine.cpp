@@ -13,30 +13,46 @@ SlotEngine::SlotEngine(const core::DetectionScheme& scheme,
 SlotType SlotEngine::runSlot(std::span<tags::Tag> tags,
                              std::span<const std::size_t> responders,
                              common::Rng& rng) {
-  txScratch_.clear();
-  txScratch_.reserve(responders.size());
+  // Grow the scratch only at a new high-water mark; existing elements keep
+  // their word storage and are overwritten in place.
+  if (txScratch_.size() < responders.size()) {
+    txScratch_.resize(responders.size());
+  }
+  std::size_t txCount = 0;
   for (const std::size_t idx : responders) {
     RFID_REQUIRE(idx < tags.size(), "responder index out of range");
     const tags::Tag& tag = tags[idx];
+    common::BitVec& tx = txScratch_[txCount++];
     if (tag.blocker) {
       // A blocker jams the contention phase with all-ones, so any slot it
       // joins superposes to a signal no detector reads as single.
-      txScratch_.emplace_back(scheme_.contentionBits(), true);
+      tx.assignFill(scheme_.contentionBits(), true);
     } else {
-      txScratch_.push_back(scheme_.contentionSignal(tag, rng));
+      scheme_.contentionSignalInto(tag, rng, tx);
     }
   }
 
   const double slotStart = metrics_.nowMicros();
   const std::uint64_t identifiedBefore = metrics_.identified();
-  const phy::Reception reception = channel_.superpose(txScratch_, rng);
+
+  // An idle slot never reaches the channel: superposeInto would disengage
+  // the scratch signal and drop its storage, forcing the next busy slot to
+  // reallocate it.
+  static const std::optional<common::BitVec> kNoSignal;
+  const std::optional<common::BitVec>* signal = &kNoSignal;
+  if (responders.empty()) {
+    rxScratch_.capturedIndex.reset();
+  } else {
+    channel_.superposeInto({txScratch_.data(), txCount}, rng, rxScratch_);
+    signal = &rxScratch_.signal;
+  }
+  const phy::Reception& reception = rxScratch_;
 
   const SlotType trueType = responders.empty() ? SlotType::kIdle
                             : responders.size() == 1
                                 ? SlotType::kSingle
                                 : SlotType::kCollided;
-  const SlotType detected = scheme_.classify(reception.signal,
-                                             responders.size());
+  const SlotType detected = scheme_.classify(*signal, responders.size());
 
   metrics_.recordSlot(
       trueType, detected,

@@ -5,6 +5,13 @@
 // detection scheme classifies, airtime is charged, and identification (or a
 // phantom identification after a misdetected collision) is applied to tag
 // state. Protocols only decide *who responds in which slot*.
+//
+// Hot-path contract: the engine owns all per-slot scratch (the transmission
+// buffers and the Reception it hands to the channel) and drives only the
+// in-place APIs (contentionSignalInto, superposeInto), so once the scratch
+// has reached its high-water capacity a slot performs zero heap
+// allocations. bench/microbench_slot asserts this with a counting
+// allocator.
 #pragma once
 
 #include <span>
@@ -51,7 +58,12 @@ class SlotEngine {
   Metrics& metrics_;
   SlotObserver* observer_ = nullptr;
   std::uint64_t slotIndex_ = 0;
+  /// Per-responder transmission scratch. Grown only at a new high-water
+  /// responder count; the element BitVecs are rewritten in place, never
+  /// destroyed, so their word storage is reused across slots.
   std::vector<common::BitVec> txScratch_;
+  /// Channel output scratch; its signal BitVec is likewise reused.
+  phy::Reception rxScratch_;
 };
 
 }  // namespace rfid::sim

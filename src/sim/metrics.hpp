@@ -57,6 +57,14 @@ class Metrics {
     lostTags_ += tagsLost;
   }
 
+  /// Pre-sizes the per-tag delay log so that up to `expected`
+  /// identifications record without reallocating — lets a long-running slot
+  /// loop stay allocation-free (everything else in Metrics is plain
+  /// counters).
+  void reserveIdentifications(std::size_t expected) {
+    delays_.reserve(expected);
+  }
+
   // --- views ---------------------------------------------------------------
   const SlotCensus& trueCensus() const noexcept { return trueCensus_; }
   const SlotCensus& detectedCensus() const noexcept { return detectedCensus_; }

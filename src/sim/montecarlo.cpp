@@ -1,21 +1,47 @@
 #include "sim/montecarlo.hpp"
 
+#include <new>
+#include <vector>
+
 #include "common/thread_pool.hpp"
 
 namespace rfid::sim {
+
+namespace {
+
+#ifdef __cpp_lib_hardware_interference_size
+constexpr std::size_t kCacheLine = std::hardware_destructive_interference_size;
+#else
+constexpr std::size_t kCacheLine = 64;
+#endif
+
+/// One round's accumulator, padded to a cache-line boundary so that workers
+/// writing adjacent rounds never share a line (the counters inside Metrics
+/// are updated on every simulated slot, so a shared line would ping-pong
+/// between cores for the whole round).
+struct alignas(kCacheLine) PaddedMetrics {
+  Metrics value;
+};
+
+}  // namespace
 
 std::vector<Metrics> runMonteCarlo(
     std::size_t rounds, std::uint64_t seed,
     const std::function<void(common::Rng&, Metrics&)>& round,
     unsigned threads) {
-  std::vector<Metrics> results(rounds);
+  std::vector<PaddedMetrics> padded(rounds);
   common::parallelFor(
       0, rounds,
       [&](std::size_t k) {
         common::Rng rng = common::Rng::forStream(seed, k);
-        round(rng, results[k]);
+        round(rng, padded[k].value);
       },
       threads);
+  std::vector<Metrics> results;
+  results.reserve(rounds);
+  for (PaddedMetrics& p : padded) {
+    results.push_back(std::move(p.value));
+  }
   return results;
 }
 

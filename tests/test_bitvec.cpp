@@ -230,4 +230,135 @@ TEST(BitVec, UsableInUnorderedSet) {
   EXPECT_EQ(set.size(), 2u);
 }
 
+// --- in-place / word-level API (the slot hot path's building blocks) -------
+
+TEST(BitVec, AssignUintMatchesFromUint) {
+  Rng rng(200);
+  BitVec scratch;  // reused across iterations, as the hot path does
+  for (const std::size_t n : {0u, 1u, 7u, 32u, 63u, 64u}) {
+    const std::uint64_t v = n == 0 ? 0 : rng.bits(static_cast<unsigned>(n));
+    scratch.assignUint(v, n);
+    EXPECT_EQ(scratch, BitVec::fromUint(v, n)) << "n = " << n;
+  }
+  EXPECT_THROW(scratch.assignUint(4, 2), PreconditionError);
+  EXPECT_THROW(scratch.assignUint(0, 65), PreconditionError);
+}
+
+TEST(BitVec, AssignFillMatchesSizedConstruction) {
+  BitVec scratch;
+  for (const std::size_t n : {0u, 1u, 64u, 65u, 130u}) {
+    for (const bool value : {false, true}) {
+      scratch.assignFill(n, value);
+      EXPECT_EQ(scratch, BitVec(n, value)) << "n = " << n;
+    }
+  }
+  // Shrinking after a large fill keeps the canonical form.
+  scratch.assignFill(130, true);
+  scratch.assignFill(3, true);
+  EXPECT_EQ(scratch, BitVec(3, true));
+  EXPECT_EQ(scratch.popcount(), 3u);
+}
+
+TEST(BitVec, AssignOrMatchesOperator) {
+  Rng rng(201);
+  BitVec scratch;
+  for (const std::size_t n : {1u, 16u, 64u, 100u}) {
+    const BitVec a = rng.bitvec(n);
+    const BitVec b = rng.bitvec(n);
+    scratch.assignOr(a, b);
+    EXPECT_EQ(scratch, a | b) << "n = " << n;
+    // Aliasing the destination with an operand is allowed.
+    BitVec aliased = a;
+    aliased.assignOr(aliased, b);
+    EXPECT_EQ(aliased, a | b) << "n = " << n;
+  }
+  const BitVec a = rng.bitvec(8);
+  const BitVec b = rng.bitvec(9);
+  EXPECT_THROW(scratch.assignOr(a, b), PreconditionError);
+}
+
+TEST(BitVec, ResizePreservesPrefixAndFillsNewBits) {
+  Rng rng(202);
+  const BitVec original = rng.bitvec(100);
+  BitVec v = original;
+  v.resize(150, true);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(v.test(i), original.test(i)) << "bit " << i;
+  }
+  for (std::size_t i = 100; i < 150; ++i) {
+    EXPECT_TRUE(v.test(i)) << "bit " << i;
+  }
+  v.resize(40);
+  EXPECT_EQ(v, original.slice(0, 40));
+  v.resize(70);  // regrow with zeros: no stale bits may reappear
+  EXPECT_EQ(v.popcount(), original.slice(0, 40).popcount());
+}
+
+TEST(BitVec, WordAccessorRoundTrip) {
+  Rng rng(203);
+  const BitVec v = rng.bitvec(130);
+  EXPECT_EQ(v.words(), 3u);
+  BitVec rebuilt(130);
+  for (std::size_t i = 0; i < v.words(); ++i) {
+    rebuilt.setWord(i, v.word(i));
+  }
+  EXPECT_EQ(rebuilt, v);
+  EXPECT_THROW(v.word(3), PreconditionError);
+  EXPECT_THROW(rebuilt.setWord(3, 0), PreconditionError);
+}
+
+TEST(BitVec, SetWordClearsPaddingOnLastWord) {
+  BitVec v(70);
+  v.setWord(1, ~std::uint64_t{0});  // only 6 bits of word 1 are in range
+  EXPECT_EQ(v.popcount(), 6u);
+  EXPECT_EQ(v, v | v);  // canonical form survives equality round trips
+}
+
+TEST(BitVec, ConcatIntoMatchesConcat) {
+  Rng rng(204);
+  BitVec scratch;
+  for (const std::size_t na : {0u, 5u, 64u, 90u}) {
+    for (const std::size_t nb : {0u, 3u, 64u, 70u}) {
+      const BitVec a = rng.bitvec(na);
+      const BitVec b = rng.bitvec(nb);
+      scratch = a;
+      scratch.concatInto(b);
+      EXPECT_EQ(scratch, a.concat(b)) << na << "+" << nb;
+    }
+  }
+  EXPECT_THROW(scratch.concatInto(scratch), PreconditionError);
+}
+
+TEST(BitVec, AppendUintMatchesConcatFromUint) {
+  Rng rng(205);
+  BitVec scratch;
+  for (const std::size_t base : {0u, 7u, 60u, 64u}) {
+    for (const std::size_t n : {0u, 1u, 8u, 33u, 64u}) {
+      const BitVec prefix = rng.bitvec(base);
+      const std::uint64_t v = n == 0 ? 0 : rng.bits(static_cast<unsigned>(n));
+      scratch = prefix;
+      scratch.appendUint(v, n);
+      EXPECT_EQ(scratch, prefix.concat(BitVec::fromUint(v, n)))
+          << base << "+" << n;
+    }
+  }
+  EXPECT_THROW(scratch.appendUint(2, 1), PreconditionError);
+  EXPECT_THROW(scratch.appendUint(0, 65), PreconditionError);
+}
+
+TEST(BitVec, SliceIntoMatchesSlice) {
+  Rng rng(206);
+  const BitVec v = rng.bitvec(150);
+  BitVec scratch;
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t pos = rng.below(150);
+    const std::size_t len = rng.below(150 - pos + 1);
+    v.sliceInto(pos, len, scratch);
+    EXPECT_EQ(scratch, v.slice(pos, len)) << pos << "/" << len;
+  }
+  EXPECT_THROW(v.sliceInto(100, 51, scratch), PreconditionError);
+  BitVec aliased = v;
+  EXPECT_THROW(aliased.sliceInto(0, 10, aliased), PreconditionError);
+}
+
 }  // namespace

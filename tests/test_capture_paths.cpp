@@ -3,13 +3,22 @@
 // only execute under capture, so they get dedicated coverage here.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
 #include "anticollision/abs.hpp"
 #include "anticollision/bt.hpp"
 #include "anticollision/fsa.hpp"
 #include "anticollision/qadaptive.hpp"
 #include "anticollision/qt.hpp"
+#include "common/bitvec.hpp"
+#include "common/rng.hpp"
+#include "core/detection_scheme.hpp"
 #include "helpers.hpp"
 #include "phy/channel.hpp"
+#include "phy/timing.hpp"
 
 namespace {
 
@@ -81,6 +90,62 @@ TEST(CapturePaths, CaptureConvertsCollisionsIntoReads) {
   EXPECT_GT(conf[2][1], 0u);  // true collided → detected single (captured)
   EXPECT_EQ(h.metrics.phantoms(), 0u);
   EXPECT_EQ(h.correct(), 150u);
+}
+
+// A reader that only does energy detection: any signal on the air reads as
+// single. Lets a blocker's clean captured jam signal pass classification, so
+// the engine's "never identify a blocker" guard is what's under test.
+class EnergyDetectScheme final : public rfid::core::DetectionScheme {
+ public:
+  explicit EnergyDetectScheme(AirInterface air) : DetectionScheme(air) {}
+  std::string name() const override { return "energy-detect"; }
+  std::size_t contentionBits() const override { return air().idBits; }
+  rfid::common::BitVec contentionSignal(const rfid::tags::Tag& tag,
+                                        rfid::common::Rng&) const override {
+    return tag.id;
+  }
+  rfid::phy::SlotType classify(const std::optional<rfid::common::BitVec>& s,
+                               std::size_t) const override {
+    return s.has_value() && s->any() ? rfid::phy::SlotType::kSingle
+                                     : rfid::phy::SlotType::kIdle;
+  }
+  bool idIsInContention() const override { return true; }
+  rfid::phy::SlotTiming timing() const override { return {8.0, 8.0, 8.0}; }
+};
+
+TEST(CapturePaths, BlockerCaptureWinIdentifiesNoOne) {
+  using rfid::common::BitVec;
+  using rfid::common::Rng;
+  using rfid::phy::SlotType;
+
+  Harness h(2, 30, std::make_unique<EnergyDetectScheme>(AirInterface{}),
+            std::make_unique<CaptureChannel>(1.0));
+  // Predict which of the two transmitters the channel will capture by
+  // replaying the slot's draws (chance, then winner pick) on a copy of the
+  // rng, and make that tag the blocker.
+  Rng probe = h.rng;
+  const std::vector<BitVec> probeTx = {BitVec(8, true), BitVec(8, true)};
+  const std::size_t winner =
+      *CaptureChannel(1.0).superpose(probeTx, probe).capturedIndex;
+  h.tags[winner].blocker = true;
+  const std::size_t honest = 1 - winner;
+
+  const std::vector<std::size_t> both = {0, 1};
+  EXPECT_EQ(h.engine.runSlot(h.tags, both, h.rng), SlotType::kSingle);
+  // The captured "single" was the blocker's jam: nobody is identified, no
+  // phantom is logged, and the honest tag is still live.
+  EXPECT_EQ(h.metrics.identified(), 0u);
+  EXPECT_EQ(h.metrics.phantoms(), 0u);
+  EXPECT_FALSE(h.tags[winner].believesIdentified);
+  EXPECT_FALSE(h.tags[honest].believesIdentified);
+
+  // Still eligible: a later clean slot identifies the honest tag normally.
+  const std::vector<std::size_t> alone = {honest};
+  EXPECT_EQ(h.engine.runSlot(h.tags, alone, h.rng), SlotType::kSingle);
+  EXPECT_TRUE(h.tags[honest].believesIdentified);
+  EXPECT_TRUE(h.tags[honest].correctlyIdentified);
+  EXPECT_EQ(h.metrics.identified(), 1u);
+  EXPECT_EQ(h.metrics.correctlyIdentified(), 1u);
 }
 
 TEST(CapturePaths, HigherCaptureMeansFewerSlots) {

@@ -128,4 +128,29 @@ TEST(CaptureChannel, RejectsInvalidProbability) {
   EXPECT_THROW(CaptureChannel{1.1}, PreconditionError);
 }
 
+// --- in-place reception (the slot hot path) --------------------------------
+
+TEST(Channel, SuperposeIntoMatchesAllocatingForm) {
+  OrChannel orCh;
+  CaptureChannel capCh(0.5);
+  for (rfid::phy::Channel* ch : {static_cast<rfid::phy::Channel*>(&orCh),
+                                 static_cast<rfid::phy::Channel*>(&capCh)}) {
+    // Identical rng state for both forms: the capture draws must line up.
+    Rng a(91), b(91), gen(17);
+    Reception scratch;  // reused across slots, as the engine reuses it
+    for (int t = 0; t < 200; ++t) {
+      const std::size_t m = gen.below(5);
+      const std::size_t nbits = 8 + 8 * gen.below(16);
+      std::vector<BitVec> tx;
+      for (std::size_t i = 0; i < m; ++i) {
+        tx.push_back(gen.bitvec(nbits));
+      }
+      ch->superposeInto(tx, a, scratch);
+      const Reception fresh = ch->superpose(tx, b);
+      ASSERT_EQ(scratch.signal, fresh.signal) << "m = " << m;
+      ASSERT_EQ(scratch.capturedIndex, fresh.capturedIndex) << "m = " << m;
+    }
+  }
+}
+
 }  // namespace

@@ -243,4 +243,27 @@ TEST(IdealScheme, IdInContention) {
             tag.id);
 }
 
+// --- in-place contention signals (the slot hot path) -----------------------
+
+TEST(DetectionScheme, InPlaceContentionSignalMatchesAllocating) {
+  const AirInterface air{};
+  const Tag tag = makeTag(0xDEADBEEFCAFEF00Dull);
+  std::vector<std::unique_ptr<rfid::core::DetectionScheme>> schemes;
+  schemes.push_back(std::make_unique<CrcCdScheme>(air));
+  schemes.push_back(std::make_unique<QcdScheme>(air, 8));
+  schemes.push_back(std::make_unique<QcdScheme>(air, 33));  // word-spanning
+  schemes.push_back(std::make_unique<rfid::core::CrcPreambleScheme>(
+      air, 8, rfid::crc::crc8Smbus()));
+  schemes.push_back(std::make_unique<IdealScheme>(air));
+  for (const auto& scheme : schemes) {
+    // Identical rng state for both forms: the draws must line up too.
+    Rng a(77), b(77);
+    BitVec scratch;  // reused across iterations, as the engine reuses it
+    for (int i = 0; i < 100; ++i) {
+      scheme->contentionSignalInto(tag, a, scratch);
+      ASSERT_EQ(scratch, scheme->contentionSignal(tag, b)) << scheme->name();
+    }
+  }
+}
+
 }  // namespace

@@ -83,4 +83,42 @@ TEST(MonteCarlo, ZeroRounds) {
   EXPECT_TRUE(results.empty());
 }
 
+TEST(MonteCarlo, GoldenValuesPinStreamDerivation) {
+  // Hard-coded per-round censuses for seed 20100913 under the documented
+  // forStream recipe (splitmix64 over the mixed seed plus the stream index).
+  // Any change to the stream derivation — or any scheduler that stops
+  // handing round k exactly Rng::forStream(seed, k) — breaks these, in both
+  // serial and parallel execution.
+  struct Golden {
+    std::uint64_t idle, single, collided;
+  };
+  constexpr Golden kGolden[] = {
+      {2u, 4u, 5u},    // round 0
+      {10u, 6u, 7u},   // round 1
+      {5u, 9u, 12u},   // round 2
+      {13u, 12u, 3u},  // round 3
+      {5u, 1u, 5u},    // round 4
+      {5u, 3u, 5u},    // round 5
+      {3u, 4u, 4u},    // round 6
+      {4u, 8u, 4u},    // round 7
+  };
+  const auto serial = runMonteCarlo(8, 20100913, fakeRound, 1);
+  const auto parallel = runMonteCarlo(8, 20100913, fakeRound, 4);
+  ASSERT_EQ(serial.size(), 8u);
+  ASSERT_EQ(parallel.size(), 8u);
+  for (std::size_t k = 0; k < 8; ++k) {
+    for (const auto* results : {&serial, &parallel}) {
+      const Metrics& m = (*results)[k];
+      EXPECT_EQ(m.detectedCensus().idle, kGolden[k].idle) << "round " << k;
+      EXPECT_EQ(m.detectedCensus().single, kGolden[k].single) << "round " << k;
+      EXPECT_EQ(m.detectedCensus().collided, kGolden[k].collided)
+          << "round " << k;
+    }
+    // Bit-identical across thread counts, not just census-equal.
+    EXPECT_EQ(serial[k].totalAirtimeMicros(), parallel[k].totalAirtimeMicros());
+    EXPECT_EQ(serial[k].identified(), parallel[k].identified());
+    EXPECT_EQ(serial[k].delaysMicros(), parallel[k].delaysMicros());
+  }
+}
+
 }  // namespace

@@ -118,6 +118,72 @@ TEST(QcdPreamble, EmpiricalEvasionMatchesLawAtLowStrength) {
               QcdPreamble::evasionProbability(2, 2), 0.01);
 }
 
+TEST(QcdPreamble, EncodeIntoMatchesEncodeAtEveryStrength) {
+  Rng rng(54);
+  BitVec scratch;  // reused, as the slot hot path reuses its tx scratch
+  for (unsigned l = 1; l <= 64; ++l) {
+    const QcdPreamble prm(l);
+    for (int t = 0; t < 50; ++t) {
+      const std::uint64_t r = prm.draw(rng);
+      prm.encodeInto(r, scratch);
+      EXPECT_EQ(scratch, prm.encode(r)) << "l = " << l << ", r = " << r;
+    }
+  }
+  const QcdPreamble prm(4);
+  EXPECT_THROW(prm.encodeInto(0, scratch), PreconditionError);
+  EXPECT_THROW(prm.encodeInto(16, scratch), PreconditionError);
+}
+
+TEST(QcdPreamble, WordLevelInspectMatchesSliceReference) {
+  // The production inspect works on one or two 64-bit words; check it
+  // against the textbook slice/complement formulation on random superposed
+  // preambles, including the word-boundary strengths 32/33/63/64.
+  Rng rng(55);
+  for (const unsigned l : {1u, 7u, 8u, 16u, 31u, 32u, 33u, 48u, 63u, 64u}) {
+    const QcdPreamble prm(l);
+    for (int t = 0; t < 200; ++t) {
+      const std::size_t m = rng.between(1, 4);
+      BitVec s(2ull * l);
+      for (std::size_t i = 0; i < m; ++i) {
+        s |= prm.encode(prm.draw(rng));
+      }
+      const BitVec r = s.slice(0, l);
+      const BitVec c = s.slice(l, l);
+      const auto reference = c == r.complemented()
+                                 ? QcdPreamble::Verdict::kSingle
+                                 : QcdPreamble::Verdict::kCollided;
+      ASSERT_EQ(prm.inspect(s), reference) << "l = " << l;
+    }
+  }
+}
+
+TEST(QcdPreamble, EvasionProbabilityDeviatesFromPaperAsDocumented) {
+  // The paper states 2^−l(m−1) (base 2^l); the code computes (2^l − 1)^−(m−1)
+  // because r is a *positive* l-bit integer — r = 0 never occurs (DESIGN.md
+  // §2). Pin the exact values and their closeness to the paper's
+  // approximation for the strengths the paper tabulates.
+  for (const std::size_t m : {2u, 3u, 5u}) {
+    const auto e = static_cast<double>(m - 1);
+    EXPECT_DOUBLE_EQ(QcdPreamble::evasionProbability(4, m),
+                     std::pow(15.0, -e));
+    EXPECT_DOUBLE_EQ(QcdPreamble::evasionProbability(8, m),
+                     std::pow(255.0, -e));
+    EXPECT_DOUBLE_EQ(QcdPreamble::evasionProbability(16, m),
+                     std::pow(65535.0, -e));
+    // Relative gap to the paper's 2^−l(m−1) is (1 − 2^−l)^−(m−1) − 1 ≈
+    // (m−1)·2^−l: about 6.7 % per extra responder at l = 4, 0.4 % at l = 8,
+    // 0.0015 % at l = 16 — the paper's figure is the large-l approximation.
+    for (const unsigned l : {4u, 8u, 16u}) {
+      const double exact = QcdPreamble::evasionProbability(l, m);
+      const double paper = std::pow(std::ldexp(1.0, static_cast<int>(l)), -e);
+      const double relGap = exact / paper - 1.0;
+      EXPECT_GT(relGap, 0.0) << "l = " << l << ", m = " << m;
+      EXPECT_LT(relGap, 1.4 * e * std::ldexp(1.0, -static_cast<int>(l)))
+          << "l = " << l << ", m = " << m;
+    }
+  }
+}
+
 TEST(QcdPreamble, Validation) {
   EXPECT_THROW(QcdPreamble{0}, PreconditionError);
   EXPECT_THROW(QcdPreamble{65}, PreconditionError);

@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <bit>
 #include <cmath>
+#include <set>
 
 #include "common/require.hpp"
 
@@ -57,6 +59,60 @@ TEST(Rng, StreamsAreIndependentAndDeterministic) {
     if (e() == f()) ++equal;
   }
   EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ForStreamFollowsDocumentedRecipe) {
+  // The stream seed must be splitmix64(splitmix64-mix(seed) + stream) —
+  // both inputs pass through the mixer. This pins the construction against
+  // a regression to the earlier linear-in-stream XOR/add derivation.
+  const std::uint64_t seed = 0xDEADBEEFCAFEF00Dull;
+  const std::uint64_t stream = 7;
+  std::uint64_t sm = seed;
+  std::uint64_t state = splitmix64(sm);
+  state += stream;
+  Rng expected(splitmix64(state));
+  Rng actual = Rng::forStream(seed, stream);
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_EQ(actual(), expected());
+  }
+}
+
+TEST(Rng, AdjacentStreamsHaveUncorrelatedFirstOutputs) {
+  // For independent 64-bit words the Hamming distance is Binomial(64, 1/2):
+  // mean 32, σ = 4. Each pair must land within ±6σ and the mean over 256
+  // pairs within ±3 (≈ 12 σ of the sample mean); additionally no two pairs
+  // may share a difference pattern, which a linear-in-k derivation would
+  // produce structurally.
+  std::set<std::uint64_t> diffs;
+  double totalHamming = 0.0;
+  constexpr int kPairs = 256;
+  for (int k = 0; k < kPairs; ++k) {
+    const std::uint64_t a = Rng::forStream(42, static_cast<std::uint64_t>(k))();
+    const std::uint64_t b =
+        Rng::forStream(42, static_cast<std::uint64_t>(k) + 1)();
+    const int h = std::popcount(a ^ b);
+    ASSERT_GE(h, 8) << "streams " << k << "/" << k + 1;
+    ASSERT_LE(h, 56) << "streams " << k << "/" << k + 1;
+    totalHamming += h;
+    diffs.insert(a ^ b);
+  }
+  EXPECT_NEAR(totalHamming / kPairs, 32.0, 3.0);
+  EXPECT_EQ(diffs.size(), static_cast<std::size_t>(kPairs));
+}
+
+TEST(Rng, SingleBitSeedFlipsHaveUncorrelatedFirstOutputs) {
+  const std::uint64_t base = 42;
+  const std::uint64_t ref = Rng::forStream(base, 5)();
+  double totalHamming = 0.0;
+  for (unsigned bit = 0; bit < 64; ++bit) {
+    const std::uint64_t flipped = base ^ (std::uint64_t{1} << bit);
+    const std::uint64_t out = Rng::forStream(flipped, 5)();
+    const int h = std::popcount(ref ^ out);
+    ASSERT_GE(h, 8) << "seed bit " << bit;
+    ASSERT_LE(h, 56) << "seed bit " << bit;
+    totalHamming += h;
+  }
+  EXPECT_NEAR(totalHamming / 64.0, 32.0, 4.0);
 }
 
 TEST(Rng, BelowRespectsBound) {
