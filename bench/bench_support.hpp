@@ -1,21 +1,225 @@
 // Shared plumbing for the bench binaries: paper-case configuration with
-// runtime budgets appropriate for a laptop-class single core, and common
-// output helpers. Every bench prints the paper's reported value next to the
-// reproduction's measured value so EXPERIMENTS.md can be filled by reading
-// the output.
+// runtime budgets appropriate for a laptop-class single core, common output
+// helpers, and the observability layer. Every bench prints the paper's
+// reported value next to the reproduction's measured value so
+// EXPERIMENTS.md can be filled by reading the output — and mirrors the same
+// data into a machine-readable JSON run report.
+//
+// Environment conventions (honored by every bench binary):
+//   RFID_ROUNDS=<n>    force n Monte-Carlo rounds for every paper case
+//   RFID_JSON=<path>   write a rfid-run-report/1 JSON run report to <path>
+//                      (manifest with seed/rounds/git revision/config, the
+//                      printed comparison tables, explicit paper/closed-form/
+//                      measured triples, per-phase wall-clock, and the
+//                      metrics-registry dump with slot-type histograms)
+//   RFID_TRACE=<path>  stream a per-slot CSV trace (sim::CsvTraceWriter) of
+//                      every simulated slot to <path>
+//
+// printHeader() arms the layer, installs a TextTable print tap so every
+// table a bench prints lands in the report automatically, and registers an
+// atexit finalizer; printFooter() finalizes eagerly. Benches therefore get
+// RFID_JSON support without bespoke code, and can enrich the report through
+// report()/addResult()/ScopedPhase.
 #pragma once
 
 #include <array>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <memory>
+#include <optional>
+#include <set>
 #include <string>
 
 #include "anticollision/experiment.hpp"
 #include "common/cli.hpp"
+#include "common/registry.hpp"
+#include "common/run_report.hpp"
 #include "common/table.hpp"
+#include "sim/montecarlo.hpp"
 #include "sim/scenario.hpp"
+#include "sim/trace.hpp"
 
 namespace rfid::bench {
+
+/// ICPP 2010 opened on 2010-09-13; every bench seeds from this.
+inline constexpr std::uint64_t kPaperSeed = 20100913;
+
+namespace detail {
+
+struct Observability {
+  std::optional<common::RunReport> report;
+  common::MetricsRegistry registry;
+  sim::MonteCarloStats mcStats;
+  sim::FanoutObserver fanout;
+  std::unique_ptr<std::ofstream> traceFile;
+  std::unique_ptr<sim::CsvTraceWriter> traceWriter;
+  std::unique_ptr<sim::RegistryObserver> registryObserver;
+  std::set<std::string> protocols;
+  std::set<std::string> schemes;
+  std::string jsonPath;
+  std::size_t tablesSeen = 0;
+  std::chrono::steady_clock::time_point start;
+  bool finalized = false;
+};
+
+inline Observability& obs() {
+  static Observability o;
+  return o;
+}
+
+inline void captureTable(void*, const common::TextTable& table) {
+  Observability& o = obs();
+  if (!o.report.has_value()) return;
+  o.report->addTable("table-" + std::to_string(o.tablesSeen++),
+                     table.headers(), table.dataRows());
+}
+
+inline std::string joined(const std::set<std::string>& items) {
+  std::string out;
+  for (const std::string& s : items) {
+    if (!out.empty()) out += ", ";
+    out += s;
+  }
+  return out;
+}
+
+/// Idempotent; runs at printFooter() or, for benches that exit early, via
+/// atexit. Folds the Monte-Carlo wall-clock stats into registry gauges,
+/// attaches the registry and writes the JSON report when a path is set.
+inline void finalizeReport() {
+  Observability& o = obs();
+  if (o.finalized || !o.report.has_value()) return;
+  o.finalized = true;
+  o.report->addPhase(
+      "total", std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - o.start)
+                   .count());
+  if (!o.protocols.empty()) {
+    o.report->setConfig("protocols", joined(o.protocols));
+  }
+  if (!o.schemes.empty()) {
+    o.report->setConfig("schemes", joined(o.schemes));
+  }
+  if (o.mcStats.calls > 0) {
+    o.registry.gauge("sim.wall_seconds").set(o.mcStats.wallSeconds);
+    o.registry.gauge("sim.slots_per_sec").set(o.mcStats.slotsPerSecond());
+    o.registry.gauge("sim.round_seconds_mean")
+        .set(o.mcStats.roundSeconds.mean());
+    o.registry.gauge("sim.round_seconds_max")
+        .set(o.mcStats.roundSeconds.max());
+    o.registry.counter("sim.rounds").add(o.mcStats.roundSeconds.count());
+    o.registry.counter("sim.slots").add(o.mcStats.totalSlots);
+  }
+  o.report->attachRegistry(&o.registry);
+  if (!o.jsonPath.empty() && !o.report->writeTo(o.jsonPath)) {
+    std::fprintf(stderr, "warning: could not write run report to %s\n",
+                 o.jsonPath.c_str());
+  }
+  common::TextTable::setPrintSink(nullptr, nullptr);
+}
+
+inline std::string gitRevision() {
+#ifdef RFID_GIT_REV
+  const std::string compiled = RFID_GIT_REV;
+#else
+  const std::string compiled = "unknown";
+#endif
+  return common::envOr("RFID_GIT_REV", compiled);
+}
+
+}  // namespace detail
+
+/// The active run report. Valid after printHeader()/initObservability().
+inline common::RunReport& report() { return *detail::obs().report; }
+
+/// The bench-wide metrics registry (dumped into the report on finalize).
+inline common::MetricsRegistry& registry() { return detail::obs().registry; }
+
+/// Accumulated Monte-Carlo wall-clock stats (see sim::MonteCarloStats).
+inline sim::MonteCarloStats& simStats() { return detail::obs().mcStats; }
+
+/// The slot observer every experiment should attach: CSV trace when
+/// RFID_TRACE is set, registry slot-type histograms when RFID_JSON is set,
+/// nullptr when neither (keeping rounds parallel and the engine silent).
+inline sim::SlotObserver* slotObserver() {
+  detail::Observability& o = detail::obs();
+  return o.fanout.empty() ? nullptr : &o.fanout;
+}
+
+/// Arms the observability layer (idempotent): builds the run report,
+/// resolves the RFID_JSON / RFID_TRACE conventions, installs the table tap
+/// and the atexit finalizer. `defaultJsonPath` makes the bench write a
+/// report even without RFID_JSON (microbench_slot's BENCH_slot.json).
+inline void initObservability(const std::string& name,
+                              const std::string& paperStatement,
+                              const std::string& defaultJsonPath = "") {
+  detail::Observability& o = detail::obs();
+  if (o.report.has_value()) return;
+  o.start = std::chrono::steady_clock::now();
+  o.report.emplace(name, paperStatement);
+  o.report->setSeed(kPaperSeed);
+  o.report->setGitRevision(detail::gitRevision());
+  o.jsonPath = common::envOr("RFID_JSON", defaultJsonPath);
+  const std::string tracePath = common::envOr("RFID_TRACE", std::string{});
+  if (const std::uint64_t forced = common::envOr("RFID_ROUNDS", 0);
+      forced > 0) {
+    o.report->setConfig("rfid_rounds_env", forced);
+  }
+  if (!tracePath.empty()) {
+    o.traceFile = std::make_unique<std::ofstream>(tracePath, std::ios::trunc);
+    if (o.traceFile->is_open()) {
+      o.traceWriter = std::make_unique<sim::CsvTraceWriter>(*o.traceFile);
+      o.fanout.attach(o.traceWriter.get());
+      o.report->setConfig("rfid_trace", tracePath);
+    } else {
+      std::fprintf(stderr, "warning: could not open RFID_TRACE=%s\n",
+                   tracePath.c_str());
+      o.traceFile.reset();
+    }
+  }
+  if (!o.jsonPath.empty()) {
+    o.registryObserver =
+        std::make_unique<sim::RegistryObserver>(o.registry, "slots");
+    o.fanout.attach(o.registryObserver.get());
+  }
+  common::TextTable::setPrintSink(&detail::captureTable, nullptr);
+  std::atexit([] { detail::finalizeReport(); });
+}
+
+/// Records one paper/closed-form/measured triple in the run report (the
+/// same numbers the bench prints); no-op before printHeader().
+inline void addResult(const std::string& name, std::optional<double> paper,
+                      std::optional<double> closedForm,
+                      std::optional<double> measured,
+                      std::optional<double> ci95 = std::nullopt) {
+  if (detail::obs().report.has_value()) {
+    report().addResult(name, paper, closedForm, measured, ci95);
+  }
+}
+
+/// Times a named phase of the bench into the report (RAII).
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(std::string name)
+      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedPhase() {
+    if (detail::obs().report.has_value()) {
+      report().addPhase(
+          name_, std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start_)
+                     .count());
+    }
+  }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 /// Monte-Carlo rounds per paper case. The paper uses 100 everywhere; the
 /// 50000-tag case is scaled down by default to keep full bench sweeps in
@@ -24,13 +228,17 @@ namespace rfid::bench {
 inline std::size_t roundsForCase(std::size_t caseIndex) {
   static constexpr std::array<std::size_t, 4> kDefaults = {100, 50, 10, 3};
   const std::uint64_t forced = common::envOr("RFID_ROUNDS", 0);
-  if (forced > 0) {
-    return forced;
+  const std::size_t rounds =
+      forced > 0 ? static_cast<std::size_t>(forced) : kDefaults.at(caseIndex);
+  if (detail::obs().report.has_value()) {
+    report().noteRounds(rounds);
   }
-  return kDefaults.at(caseIndex);
+  return rounds;
 }
 
-/// Experiment configuration for paper case `caseIndex` (Table VI).
+/// Experiment configuration for paper case `caseIndex` (Table VI), wired
+/// into the observability layer: the RFID_TRACE/RFID_JSON slot observer,
+/// the accumulated wall-clock stats, and the report's config manifest.
 inline anticollision::ExperimentConfig paperConfig(
     std::size_t caseIndex, anticollision::ProtocolKind protocol,
     anticollision::SchemeKind scheme, unsigned strength = 8) {
@@ -42,16 +250,32 @@ inline anticollision::ExperimentConfig paperConfig(
   cfg.tagCount = pc.tagCount;
   cfg.frameSize = pc.frameSize;
   cfg.rounds = roundsForCase(caseIndex);
-  cfg.seed = 20100913;  // ICPP 2010 opened on 2010-09-13
+  cfg.seed = kPaperSeed;
+  cfg.observer = slotObserver();
+  cfg.stats = &simStats();
+  detail::Observability& o = detail::obs();
+  if (o.report.has_value()) {
+    o.protocols.insert(toString(protocol));
+    o.schemes.insert(toString(scheme));
+    o.report->setConfig("qcd_strength", std::uint64_t{strength});
+    o.report->setConfig("case" + std::to_string(caseIndex) + ".tags",
+                        std::uint64_t{pc.tagCount});
+    o.report->setConfig("case" + std::to_string(caseIndex) + ".frame",
+                        std::uint64_t{pc.frameSize});
+  }
   return cfg;
 }
 
 inline void printHeader(const std::string& experiment,
                         const std::string& paperStatement) {
+  initObservability(experiment, paperStatement);
   std::cout << "=== " << experiment << " ===\n"
             << "Paper: " << paperStatement << "\n\n";
 }
 
-inline void printFooter() { std::cout << std::endl; }
+inline void printFooter() {
+  std::cout << std::endl;
+  detail::finalizeReport();
+}
 
 }  // namespace rfid::bench

@@ -17,18 +17,23 @@ namespace {
 /// Measures the slot census of exactly one FSA frame of size F over n tags.
 double singleFrameThroughput(std::size_t tags, std::size_t frame,
                              std::size_t rounds, std::uint64_t seed) {
+  // An attached slot observer (RFID_TRACE / RFID_JSON) is a single-threaded
+  // sink, so its presence forces serial rounds — same policy as
+  // runExperiment.
+  sim::SlotObserver* observer = bench::slotObserver();
   const auto results = sim::runMonteCarlo(
       rounds, seed,
       [&](common::Rng& rng, sim::Metrics& metrics) {
         const core::QcdScheme scheme{phy::AirInterface{}, 8};
         phy::OrChannel channel;
         sim::SlotEngine engine(scheme, channel, metrics);
+        engine.setObserver(observer);
         auto population = tags::makeUniformPopulation(tags, 64, rng);
         // Cap at one frame: the Lemma-1 statement is per detecting frame.
         anticollision::FramedSlottedAloha fsa(frame, /*maxSlots=*/frame);
         (void)fsa.run(engine, population, rng);
       },
-      0);
+      observer != nullptr ? 1u : 0u, &bench::simStats());
   double singles = 0.0;
   for (const auto& m : results) {
     singles += static_cast<double>(m.detectedCensus().single);
@@ -57,12 +62,16 @@ int main() {
     table.addRow({common::fmtDouble(load, 2), common::fmtCount(tags),
                   common::fmtCount(kFrame), common::fmtDouble(theory, 4),
                   common::fmtDouble(measured, 4)});
+    bench::addResult("lambda @ load " + common::fmtDouble(load, 2),
+                     /*paper=*/std::nullopt, theory, measured);
   }
   std::cout << table;
 
   std::cout << "\nlambda_max (theory) = " << common::fmtDouble(
                    theory::fsaMaxThroughput(), 4)
             << " at F = n; paper rounds this to 0.37.\n";
+  bench::addResult("lambda_max", /*paper=*/0.37,
+                   theory::fsaMaxThroughput(), std::nullopt);
   bench::printFooter();
   return 0;
 }

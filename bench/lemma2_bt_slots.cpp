@@ -24,17 +24,21 @@ int main() {
 
   for (const std::size_t n : {50u, 200u, 1000u, 5000u}) {
     const std::size_t rounds = n >= 5000 ? 5 : 30;
+    // Observer sinks are single-threaded: force serial rounds when
+    // RFID_TRACE / RFID_JSON attached one (same policy as runExperiment).
+    sim::SlotObserver* observer = bench::slotObserver();
     const auto results = sim::runMonteCarlo(
         rounds, 7000 + n,
         [&](common::Rng& rng, sim::Metrics& metrics) {
           const core::QcdScheme scheme{phy::AirInterface{}, 8};
           phy::OrChannel channel;
           sim::SlotEngine engine(scheme, channel, metrics);
+          engine.setObserver(observer);
           auto population = tags::makeUniformPopulation(n, 64, rng);
           anticollision::BinaryTree bt;
           (void)bt.run(engine, population, rng);
         },
-        0);
+        observer != nullptr ? 1u : 0u, &bench::simStats());
     double total = 0, collided = 0, idle = 0, single = 0, lambda = 0;
     for (const auto& m : results) {
       total += static_cast<double>(m.detectedCensus().total());
@@ -49,6 +53,17 @@ int main() {
                   common::fmtDouble(idle / denom, 3),
                   common::fmtDouble(single / denom, 3),
                   common::fmtDouble(lambda / static_cast<double>(rounds), 3)});
+    const auto expected = theory::btExpectedSlots(1.0);  // per-tag constants
+    const std::string suffix = " @ n=" + common::fmtCount(n);
+    bench::addResult("slots/n" + suffix, /*paper=*/2.885, expected.total(),
+                     total / denom);
+    bench::addResult("collided/n" + suffix, /*paper=*/1.443, expected.collided,
+                     collided / denom);
+    bench::addResult("idle/n" + suffix, /*paper=*/0.442, expected.idle,
+                     idle / denom);
+    bench::addResult("lambda" + suffix, /*paper=*/0.35,
+                     theory::btAverageThroughput(),
+                     lambda / static_cast<double>(rounds));
   }
   std::cout << table;
   std::cout << "\nTheory: lambda_avg = "

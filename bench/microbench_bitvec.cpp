@@ -7,6 +7,7 @@
 
 #include "common/bitvec.hpp"
 #include "common/rng.hpp"
+#include "microbench_support.hpp"
 #include "phy/channel.hpp"
 
 using namespace rfid;
@@ -66,3 +67,11 @@ void BM_ChannelSuperpose(benchmark::State& state) {
 BENCHMARK(BM_ChannelSuperpose)->Arg(1)->Arg(2)->Arg(8)->Arg(32);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  return rfid::bench::microbenchMain(
+      "microbench_bitvec",
+      "BitVec substrate: OR superposition, complement, concat, slice and "
+      "channel superpose — the per-slot signal operations",
+      argc, argv);
+}

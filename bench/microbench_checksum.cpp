@@ -3,6 +3,8 @@
 // table, the reader-side form) against QCD's single bitwise complement.
 #include <benchmark/benchmark.h>
 
+#include "microbench_support.hpp"
+
 #include "common/bitvec.hpp"
 #include "common/rng.hpp"
 #include "core/qcd.hpp"
@@ -78,3 +80,11 @@ void BM_CrcSerialByIdLength(benchmark::State& state) {
 BENCHMARK(BM_CrcSerialByIdLength)->RangeMultiplier(2)->Range(16, 512)->Complexity(benchmark::oN);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  return rfid::bench::microbenchMain(
+      "microbench_checksum",
+      "Table IV cost model: CRC-CD checksum (bit-serial and table-driven) "
+      "vs QCD's complement-based preamble encode/inspect",
+      argc, argv);
+}

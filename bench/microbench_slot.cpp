@@ -1,13 +1,16 @@
 // Slot hot-path microbench: legacy allocating slot loop vs
 // SlotEngine::runSlot on an identical slot schedule.
 //
-// Two claims are checked, not just measured:
+// Three claims are checked, not just measured:
 //   1. steady-state slots through the engine perform ZERO heap allocations
 //      (counted by replacing global operator new/delete) — the process exits
 //      nonzero if any slip in;
-//   2. the in-place path is faster than the legacy one (both slots/sec are
+//   2. the same holds with a RegistryObserver attached (the observability
+//      layer must not reintroduce allocations into the hot path);
+//   3. the in-place path is faster than the legacy one (both slots/sec are
 //      reported; the driver compares against the >= 2x acceptance bar).
-// Results land in BENCH_slot.json in the working directory.
+// Results land in BENCH_slot.json (rfid-run-report/1 schema) in the working
+// directory; RFID_JSON overrides the path.
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -17,12 +20,14 @@
 #include <span>
 #include <vector>
 
+#include "bench_support.hpp"
 #include "common/bitvec.hpp"
 #include "common/rng.hpp"
 #include "core/detection_scheme.hpp"
 #include "phy/channel.hpp"
 #include "sim/engine.hpp"
 #include "sim/metrics.hpp"
+#include "sim/trace.hpp"
 #include "tags/population.hpp"
 
 namespace {
@@ -113,6 +118,12 @@ double secondsSince(std::chrono::steady_clock::time_point t0) {
 }  // namespace
 
 int main() {
+  rfid::bench::initObservability(
+      "microbench_slot",
+      "slot hot path: zero steady-state heap allocations (with and without "
+      "the metrics registry attached) and >= 2x slots/sec over the legacy "
+      "allocating loop",
+      /*defaultJsonPath=*/"BENCH_slot.json");
   // A mixed schedule: idle slots, lone responders, small and large
   // collisions — the shapes every protocol produces.
   const std::vector<std::vector<std::size_t>> kSchedule = {
@@ -176,6 +187,35 @@ int main() {
     hotSlotsPerSec = static_cast<double>(kMeasuredSlots) / elapsed;
   }
 
+  // --- engine hot path with the metrics registry attached ------------------
+  // The observability layer must not reintroduce allocations: the
+  // RegistryObserver resolves its instruments at construction, so every
+  // onSlot is pure counter/histogram arithmetic.
+  double observedSlotsPerSec = 0.0;
+  std::uint64_t observedAllocs = 0;
+  {
+    std::vector<Tag> tags = initialTags;
+    Metrics metrics;
+    metrics.reserveIdentifications(2 * kMeasuredSlots);
+    SlotEngine engine(scheme, channel, metrics);
+    rfid::sim::RegistryObserver observer(rfid::bench::registry(), "slots");
+    engine.setObserver(&observer);
+    Rng rng(kSeed);
+    for (const auto& responders : kSchedule) {  // warmup to high-water marks
+      engine.runSlot(tags, responders, rng);
+    }
+    const std::uint64_t allocsBefore =
+        gAllocCount.load(std::memory_order_relaxed);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t s = 0; s < kMeasuredSlots; ++s) {
+      engine.runSlot(tags, kSchedule[s % kSchedule.size()], rng);
+    }
+    const double elapsed = secondsSince(t0);
+    observedAllocs =
+        gAllocCount.load(std::memory_order_relaxed) - allocsBefore;
+    observedSlotsPerSec = static_cast<double>(kMeasuredSlots) / elapsed;
+  }
+
   const double speedup = hotSlotsPerSec / legacySlotsPerSec;
   std::printf("legacy : %12.0f slots/sec  (%llu allocs / %zu slots)\n",
               legacySlotsPerSec, static_cast<unsigned long long>(legacyAllocs),
@@ -183,29 +223,36 @@ int main() {
   std::printf("engine : %12.0f slots/sec  (%llu allocs / %zu slots)\n",
               hotSlotsPerSec, static_cast<unsigned long long>(hotAllocs),
               kMeasuredSlots);
+  std::printf("engine+registry: %4.0f slots/sec  (%llu allocs / %zu slots)\n",
+              observedSlotsPerSec,
+              static_cast<unsigned long long>(observedAllocs), kMeasuredSlots);
   std::printf("speedup: %.2fx\n", speedup);
 
-  if (std::FILE* f = std::fopen("BENCH_slot.json", "w")) {
-    std::fprintf(f,
-                 "{\n"
-                 "  \"legacy_slots_per_sec\": %.0f,\n"
-                 "  \"hot_slots_per_sec\": %.0f,\n"
-                 "  \"speedup\": %.3f,\n"
-                 "  \"legacy_allocs\": %llu,\n"
-                 "  \"steady_state_allocs\": %llu,\n"
-                 "  \"slots_measured\": %zu\n"
-                 "}\n",
-                 legacySlotsPerSec, hotSlotsPerSec, speedup,
-                 static_cast<unsigned long long>(legacyAllocs),
-                 static_cast<unsigned long long>(hotAllocs), kMeasuredSlots);
-    std::fclose(f);
-  }
+  auto& rep = rfid::bench::report();
+  rep.addResult("legacy_slots_per_sec", std::nullopt, std::nullopt,
+                   legacySlotsPerSec);
+  rep.addResult("hot_slots_per_sec", std::nullopt, std::nullopt,
+                   hotSlotsPerSec);
+  rep.addResult("observed_slots_per_sec", std::nullopt, std::nullopt,
+                   observedSlotsPerSec);
+  rep.addResult("speedup", /*paper=*/std::nullopt,
+                   /*closedForm=*/2.0, speedup);
+  rep.addResult("legacy_allocs", std::nullopt, std::nullopt,
+                   static_cast<double>(legacyAllocs));
+  rep.addResult("steady_state_allocs", std::nullopt, /*closedForm=*/0.0,
+                   static_cast<double>(hotAllocs));
+  rep.addResult("steady_state_allocs_with_registry", std::nullopt,
+                   /*closedForm=*/0.0, static_cast<double>(observedAllocs));
+  rep.addResult("slots_measured", std::nullopt, std::nullopt,
+                   static_cast<double>(kMeasuredSlots));
+  rfid::bench::printFooter();
 
-  if (hotAllocs != 0) {
+  if (hotAllocs != 0 || observedAllocs != 0) {
     std::fprintf(stderr,
-                 "FAIL: engine hot path performed %llu heap allocations at "
-                 "steady state (expected 0)\n",
-                 static_cast<unsigned long long>(hotAllocs));
+                 "FAIL: engine hot path performed %llu (+%llu with registry) "
+                 "heap allocations at steady state (expected 0)\n",
+                 static_cast<unsigned long long>(hotAllocs),
+                 static_cast<unsigned long long>(observedAllocs));
     return 1;
   }
   return 0;

@@ -1,0 +1,53 @@
+// Shared main for the google-benchmark microbenches: runs the registered
+// benchmarks through the normal console reporter while mirroring every
+// result (time per iteration, iteration count) into the RFID_JSON run
+// report, so microbenches participate in the same BENCH_*.json trajectory
+// as the simulation benches.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <optional>
+#include <string>
+
+#include "bench_support.hpp"
+
+namespace rfid::bench {
+
+namespace detail {
+
+/// Console output plus run-report capture: each benchmark run becomes one
+/// `results` entry whose measured value is the adjusted real time per
+/// iteration (google benchmark's headline number, in its time unit).
+class ReportingConsoleReporter final : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      addResult(run.benchmark_name() + " (" +
+                    benchmark::GetTimeUnitString(run.time_unit) + "/iter)",
+                std::nullopt, std::nullopt, run.GetAdjustedRealTime());
+      registry()
+          .gauge("microbench." + run.benchmark_name() + ".iterations")
+          .set(static_cast<double>(run.iterations));
+    }
+  }
+};
+
+}  // namespace detail
+
+inline int microbenchMain(const std::string& name,
+                          const std::string& statement, int argc,
+                          char** argv) {
+  printHeader(name, statement);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  detail::ReportingConsoleReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  printFooter();
+  return 0;
+}
+
+}  // namespace rfid::bench

@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# CI entry point: configure, build, test, then smoke the observability layer.
+#
+#   1. cmake + build (warnings are errors via the rfid_warnings target)
+#   2. ctest (the tier-1 suite)
+#   3. one case-driven bench with RFID_ROUNDS=2 and RFID_JSON set; the
+#      emitted run report must validate against the rfid-run-report/1 schema
+#   4. microbench_slot, which exits nonzero when the slot hot path performs
+#      any steady-state heap allocation (with or without the metrics
+#      registry attached), and whose BENCH_slot.json must also validate
+set -eu
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j "$(nproc 2>/dev/null || echo 4)"
+ctest --test-dir build --output-on-failure -j "$(nproc 2>/dev/null || echo 4)"
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+RFID_ROUNDS=2 RFID_JSON="$tmpdir/table07.json" ./build/bench/table07_fsa_census
+python3 scripts/validate_report.py "$tmpdir/table07.json"
+
+# Fails (exit 1) on any steady-state allocation; writes BENCH_slot.json.
+RFID_JSON="$tmpdir/BENCH_slot.json" ./build/bench/microbench_slot
+python3 scripts/validate_report.py "$tmpdir/BENCH_slot.json"
+
+echo "ci.sh: all green"

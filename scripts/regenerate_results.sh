@@ -1,10 +1,18 @@
 #!/usr/bin/env sh
 # Rebuilds everything, runs the full test suite and every bench binary, and
 # leaves the transcripts next to the sources (the final artifacts quoted by
-# EXPERIMENTS.md).
+# EXPERIMENTS.md). Each bench additionally emits its machine-readable
+# rfid-run-report/1 JSON into results/BENCH_<name>.json via the RFID_JSON
+# convention (see bench/bench_support.hpp).
 set -eu
 cd "$(dirname "$0")/.."
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build 2>&1 | tee test_output.txt
-for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt
+mkdir -p results
+{
+  for b in build/bench/*; do
+    RFID_JSON="results/BENCH_$(basename "$b").json" "$b"
+  done
+} 2>&1 | tee bench_output.txt
+python3 scripts/validate_report.py results/BENCH_*.json

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Validates a BENCH_*.json run report against the rfid-run-report/1 schema.
+
+Usage: validate_report.py REPORT.json [REPORT2.json ...]
+
+Checks structure only (no external schema library): required keys, value
+types, and the invariant that a report carries at least one result or table.
+Exits nonzero with a per-file message on the first violation.
+"""
+import json
+import sys
+
+
+def fail(path, message):
+    print(f"{path}: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def expect(path, condition, message):
+    if not condition:
+        fail(path, message)
+
+
+def validate(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+
+    expect(path, isinstance(doc, dict), "top level must be an object")
+    expect(path, doc.get("schema") == "rfid-run-report/1",
+           f"schema must be 'rfid-run-report/1', got {doc.get('schema')!r}")
+    expect(path, isinstance(doc.get("bench"), str) and doc["bench"],
+           "bench must be a non-empty string")
+    expect(path, isinstance(doc.get("paper"), str),
+           "paper must be a string")
+
+    manifest = doc.get("manifest")
+    expect(path, isinstance(manifest, dict), "manifest must be an object")
+    expect(path, isinstance(manifest.get("seed"), int) and
+           not isinstance(manifest.get("seed"), bool),
+           "manifest.seed must be an integer")
+    rounds = manifest.get("rounds")
+    expect(path, isinstance(rounds, list) and
+           all(isinstance(r, int) and not isinstance(r, bool) for r in rounds),
+           "manifest.rounds must be a list of integers")
+    expect(path, isinstance(manifest.get("git_revision"), str) and
+           manifest["git_revision"],
+           "manifest.git_revision must be a non-empty string")
+    config = manifest.get("config")
+    expect(path, isinstance(config, dict) and
+           all(isinstance(v, str) for v in config.values()),
+           "manifest.config must be an object of strings")
+
+    phases = doc.get("phases")
+    expect(path, isinstance(phases, list), "phases must be a list")
+    for p in phases:
+        expect(path, isinstance(p, dict) and isinstance(p.get("name"), str)
+               and isinstance(p.get("seconds"), (int, float)),
+               f"malformed phase entry: {p!r}")
+
+    results = doc.get("results")
+    expect(path, isinstance(results, list), "results must be a list")
+    for r in results:
+        expect(path, isinstance(r, dict) and isinstance(r.get("name"), str),
+               f"malformed result entry: {r!r}")
+        for key in ("paper", "closed_form", "measured", "ci95"):
+            expect(path, key in r and
+                   (r[key] is None or isinstance(r[key], (int, float))),
+                   f"result {r.get('name')!r}: {key} must be number or null")
+
+    tables = doc.get("tables")
+    expect(path, isinstance(tables, list), "tables must be a list")
+    for t in tables:
+        expect(path, isinstance(t, dict) and isinstance(t.get("title"), str),
+               f"malformed table entry: {t!r}")
+        headers = t.get("headers")
+        expect(path, isinstance(headers, list) and
+               all(isinstance(h, str) for h in headers),
+               f"table {t.get('title')!r}: headers must be strings")
+        rows = t.get("rows")
+        expect(path, isinstance(rows, list), "table rows must be a list")
+        for row in rows:
+            expect(path, isinstance(row, list) and len(row) == len(headers)
+                   and all(isinstance(c, str) for c in row),
+                   f"table {t.get('title')!r}: row width mismatch: {row!r}")
+
+    expect(path, len(results) + len(tables) > 0,
+           "report must carry at least one result or table")
+
+    registry = doc.get("registry")
+    expect(path, isinstance(registry, dict), "registry must be an object")
+    counters = registry.get("counters")
+    expect(path, isinstance(counters, dict) and
+           all(isinstance(v, int) and not isinstance(v, bool)
+               for v in counters.values()),
+           "registry.counters must map names to integers")
+    gauges = registry.get("gauges")
+    expect(path, isinstance(gauges, dict) and
+           all(v is None or isinstance(v, (int, float))
+               for v in gauges.values()),
+           "registry.gauges must map names to numbers")
+    histograms = registry.get("histograms")
+    expect(path, isinstance(histograms, dict), "registry.histograms missing")
+    for name, h in histograms.items():
+        expect(path, isinstance(h, dict) and
+               isinstance(h.get("bounds"), list) and
+               isinstance(h.get("counts"), list) and
+               len(h["counts"]) == len(h["bounds"]) + 1,
+               f"histogram {name!r}: counts must have len(bounds)+1 entries")
+
+    print(f"{path}: valid rfid-run-report/1 "
+          f"({len(results)} results, {len(tables)} tables, "
+          f"{len(counters)} counters)")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        validate(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -33,8 +33,15 @@ std::size_t estimateBacklog(EstimatorKind kind, const FrameCensus& census);
 
 /// Vogt's estimate of how many tags *contended* in the frame: the n
 /// minimising the squared distance between the expected census
-/// (F·e₀, F·e₁, F·e_c) and the observed one. Searches
-/// n ∈ [single + 2·collided, searchCeiling].
+/// (F·e₀, F·e₁, F·e_c) and the observed one. The scan starts at the
+/// deterministic floor single + 2·collided and runs to `searchCeiling`,
+/// but does not silently stop there: when the minimum lands on the
+/// boundary (the error surface is still descending, i.e. the true backlog
+/// lies beyond the window) the window doubles and the scan continues,
+/// until the minimum is interior, the fit stops improving measurably, or
+/// the 2¹⁶ hard cap (DFSA's maximum frame) is reached. A fully collided
+/// census is uninformative beyond saturation, so the improvement cutoff is
+/// what keeps that case from running to the cap.
 std::size_t vogtContenderEstimate(const FrameCensus& census,
                                   std::size_t searchCeiling);
 

@@ -120,11 +120,15 @@ AggregateResult runExperiment(const ExperimentConfig& config) {
             config.tagCount, config.air.idBits, rng);
 
         sim::SlotEngine engine(*scheme, *channel, metrics);
+        engine.setObserver(config.observer);
         // A round that hits the slot cap leaves tags unidentified; the
         // aggregation detects that via Metrics::identified().
         (void)protocol->run(engine, population, rng);
       },
-      config.threads);
+      // An observer is a single-threaded sink shared by every round, so its
+      // presence forces serial execution (round results are thread-count
+      // independent by construction).
+      config.observer != nullptr ? 1u : config.threads, config.stats);
 
   AggregateResult agg;
   for (const sim::Metrics& m : rounds) {

@@ -12,6 +12,8 @@
 #include "common/stats.hpp"
 #include "core/detection_scheme.hpp"
 #include "phy/air_interface.hpp"
+#include "sim/montecarlo.hpp"
+#include "sim/trace.hpp"
 
 namespace rfid::anticollision {
 
@@ -49,6 +51,13 @@ struct ExperimentConfig {
   std::uint64_t seed = 42;
   unsigned threads = 0;
   std::size_t maxSlots = Protocol::kDefaultMaxSlots;
+  /// Attached to every round's slot engine when non-null (not owned). Slot
+  /// observers are single-threaded sinks, so a set observer forces the
+  /// rounds to run serially; results stay bit-identical either way.
+  sim::SlotObserver* observer = nullptr;
+  /// Wall-clock instrumentation accumulated across runExperiment calls
+  /// (not owned; see sim::MonteCarloStats).
+  sim::MonteCarloStats* stats = nullptr;
 };
 
 /// Per-round samples of every paper metric, aggregated over the rounds of

@@ -168,4 +168,9 @@ std::uint64_t envOr(const char* name, std::uint64_t fallback) {
   return parsed;
 }
 
+std::string envOr(const char* name, const std::string& fallback) {
+  const char* raw = std::getenv(name);
+  return raw == nullptr ? fallback : std::string(raw);
+}
+
 }  // namespace rfid::common

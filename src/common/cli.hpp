@@ -56,4 +56,9 @@ class ArgParser {
 /// bench binaries.
 std::uint64_t envOr(const char* name, std::uint64_t fallback);
 
+/// Reads environment variable `name` as a string, returning `fallback`
+/// when unset. Used for the RFID_TRACE / RFID_JSON output-path conventions
+/// in bench binaries.
+std::string envOr(const char* name, const std::string& fallback);
+
 }  // namespace rfid::common

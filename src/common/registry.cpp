@@ -1,0 +1,41 @@
+#include "common/registry.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace rfid::common {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  RFID_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()),
+               "histogram bucket bounds must be ascending");
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::record(double x) noexcept {
+  std::size_t b = 0;
+  while (b < bounds_.size() && x > bounds_[b]) ++b;
+  ++counts_[b];
+  ++total_;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+}  // namespace rfid::common

@@ -1,0 +1,99 @@
+// Metrics registry: named counters, gauges and fixed-bucket histograms for
+// bench/sim observability.
+//
+// Registration (looking an instrument up by name) may allocate; the record
+// path (Counter::add, Gauge::set, Histogram::record) never does — callers
+// resolve their instruments once at setup and keep the returned references,
+// which stay valid for the registry's lifetime (§5a convention in
+// DESIGN.md). Instruments are plain single-threaded accumulators, matching
+// the engine's single-threaded hot loop; parallel Monte-Carlo rounds must
+// not share one registry.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rfid::common {
+
+/// Monotonically increasing integer (slot counts, identified tags, ...).
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept { value_ += delta; }
+  std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-write-wins scalar (slots/sec, wall-clock, configuration echoes).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram. `bounds` are ascending inclusive upper bounds;
+/// one implicit overflow bucket catches everything above the last bound, so
+/// counts() has bounds().size() + 1 entries. Bucketing is a linear scan —
+/// observability histograms here have a handful of buckets, and the scan
+/// touches no heap.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void record(double x) noexcept;
+
+  std::span<const double> bounds() const noexcept { return bounds_; }
+  std::span<const std::uint64_t> counts() const noexcept { return counts_; }
+  std::uint64_t total() const noexcept { return total_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Owning registry. Lookups are by name and idempotent: the first call
+/// creates the instrument, later calls return the same object, so unrelated
+/// components can share one instrument by agreeing on its name. References
+/// remain valid until the registry is destroyed (node-stable storage).
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` are only consulted on first creation; a second lookup of an
+  /// existing histogram ignores them.
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  bool empty() const noexcept {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  /// Deterministic (name-sorted) iteration for serialization.
+  const std::map<std::string, std::unique_ptr<Counter>>& counters() const
+      noexcept {
+    return counters_;
+  }
+  const std::map<std::string, std::unique_ptr<Gauge>>& gauges() const
+      noexcept {
+    return gauges_;
+  }
+  const std::map<std::string, std::unique_ptr<Histogram>>& histograms() const
+      noexcept {
+    return histograms_;
+  }
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace rfid::common

@@ -1,0 +1,234 @@
+#include "common/run_report.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/registry.hpp"
+#include "common/require.hpp"
+
+namespace rfid::common {
+
+namespace {
+
+std::string u64Str(std::uint64_t v) { return std::to_string(v); }
+
+std::string quoted(const std::string& s) { return '"' + jsonEscape(s) + '"'; }
+
+std::string optNumber(const std::optional<double>& v) {
+  return v.has_value() ? jsonNumber(*v) : std::string("null");
+}
+
+template <typename T, typename Fn>
+std::string joinList(const std::vector<T>& items, Fn&& render) {
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += render(items[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string jsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  // Integral values print without an exponent or trailing digits so counts
+  // stay readable; %.12g keeps enough precision for everything measured
+  // here while staying deterministic.
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+RunReport::RunReport(std::string benchName, std::string paperStatement)
+    : bench_(std::move(benchName)), paper_(std::move(paperStatement)) {
+  RFID_REQUIRE(!bench_.empty(), "run report needs a bench name");
+}
+
+void RunReport::noteRounds(std::uint64_t rounds) {
+  if (std::find(rounds_.begin(), rounds_.end(), rounds) == rounds_.end()) {
+    rounds_.push_back(rounds);
+  }
+}
+
+void RunReport::setConfig(const std::string& key, std::string value) {
+  config_[key] = std::move(value);
+}
+
+void RunReport::setConfig(const std::string& key, std::uint64_t value) {
+  config_[key] = u64Str(value);
+}
+
+void RunReport::setConfig(const std::string& key, double value) {
+  config_[key] = jsonNumber(value);
+}
+
+void RunReport::addResult(const std::string& name,
+                          std::optional<double> paper,
+                          std::optional<double> closedForm,
+                          std::optional<double> measured,
+                          std::optional<double> ci95) {
+  results_.push_back(Result{name, paper, closedForm, measured, ci95});
+}
+
+void RunReport::addTable(const std::string& title,
+                         std::vector<std::string> headers,
+                         std::vector<std::vector<std::string>> rows) {
+  tables_.push_back(Table{title, std::move(headers), std::move(rows)});
+}
+
+void RunReport::addPhase(const std::string& name, double seconds) {
+  phases_.push_back(Phase{name, seconds});
+}
+
+std::string RunReport::json() const {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"schema\": " << quoted(kSchema) << ",\n";
+  out << "  \"bench\": " << quoted(bench_) << ",\n";
+  out << "  \"paper\": " << quoted(paper_) << ",\n";
+
+  out << "  \"manifest\": {\n";
+  out << "    \"seed\": " << seed_ << ",\n";
+  out << "    \"rounds\": ["
+      << joinList(rounds_, [](std::uint64_t r) { return u64Str(r); })
+      << "],\n";
+  out << "    \"git_revision\": " << quoted(gitRevision_) << ",\n";
+  out << "    \"config\": {";
+  bool first = true;
+  for (const auto& [key, value] : config_) {
+    out << (first ? "\n" : ",\n") << "      " << quoted(key) << ": "
+        << quoted(value);
+    first = false;
+  }
+  out << (first ? "" : "\n    ") << "}\n";
+  out << "  },\n";
+
+  out << "  \"phases\": [";
+  first = true;
+  for (const Phase& p : phases_) {
+    out << (first ? "\n" : ",\n") << "    {\"name\": " << quoted(p.name)
+        << ", \"seconds\": " << jsonNumber(p.seconds) << "}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "],\n";
+
+  out << "  \"results\": [";
+  first = true;
+  for (const Result& r : results_) {
+    out << (first ? "\n" : ",\n") << "    {\"name\": " << quoted(r.name)
+        << ", \"paper\": " << optNumber(r.paper)
+        << ", \"closed_form\": " << optNumber(r.closedForm)
+        << ", \"measured\": " << optNumber(r.measured)
+        << ", \"ci95\": " << optNumber(r.ci95) << "}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "],\n";
+
+  out << "  \"tables\": [";
+  first = true;
+  for (const Table& t : tables_) {
+    out << (first ? "\n" : ",\n") << "    {\"title\": " << quoted(t.title)
+        << ",\n     \"headers\": ["
+        << joinList(t.headers, quoted) << "],\n     \"rows\": [";
+    for (std::size_t i = 0; i < t.rows.size(); ++i) {
+      out << (i == 0 ? "\n" : ",\n") << "       ["
+          << joinList(t.rows[i], quoted) << "]";
+    }
+    out << (t.rows.empty() ? "" : "\n     ") << "]}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "],\n";
+
+  out << "  \"registry\": {";
+  if (registry_ == nullptr || registry_->empty()) {
+    out << "\"counters\": {}, \"gauges\": {}, \"histograms\": {}}\n";
+  } else {
+    out << "\n    \"counters\": {";
+    first = true;
+    for (const auto& [name, c] : registry_->counters()) {
+      out << (first ? "\n" : ",\n") << "      " << quoted(name) << ": "
+          << c->value();
+      first = false;
+    }
+    out << (first ? "" : "\n    ") << "},\n";
+    out << "    \"gauges\": {";
+    first = true;
+    for (const auto& [name, g] : registry_->gauges()) {
+      out << (first ? "\n" : ",\n") << "      " << quoted(name) << ": "
+          << jsonNumber(g->value());
+      first = false;
+    }
+    out << (first ? "" : "\n    ") << "},\n";
+    out << "    \"histograms\": {";
+    first = true;
+    for (const auto& [name, h] : registry_->histograms()) {
+      out << (first ? "\n" : ",\n") << "      " << quoted(name)
+          << ": {\"bounds\": [";
+      for (std::size_t i = 0; i < h->bounds().size(); ++i) {
+        out << (i == 0 ? "" : ", ") << jsonNumber(h->bounds()[i]);
+      }
+      out << "], \"counts\": [";
+      for (std::size_t i = 0; i < h->counts().size(); ++i) {
+        out << (i == 0 ? "" : ", ") << h->counts()[i];
+      }
+      out << "]}";
+      first = false;
+    }
+    out << (first ? "" : "\n    ") << "}\n  }\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+bool RunReport::writeTo(const std::string& path) const {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f.is_open()) return false;
+  f << json();
+  return static_cast<bool>(f);
+}
+
+}  // namespace rfid::common

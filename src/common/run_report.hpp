@@ -1,0 +1,110 @@
+// Standardized machine-readable bench output: every bench binary emits one
+// BENCH_*.json run report so the perf/accuracy trajectory is comparable
+// across commits. The schema ("rfid-run-report/1") is fixed and validated
+// by scripts/validate_report.py and a golden-file test:
+//
+//   {
+//     "schema":   "rfid-run-report/1",
+//     "bench":    "<binary name>",
+//     "paper":    "<the paper statement the bench reproduces>",
+//     "manifest": { "seed": u64, "rounds": [u64...], "git_revision": str,
+//                   "config": { str: str } },
+//     "phases":   [ { "name": str, "seconds": f64 } ],
+//     "results":  [ { "name": str, "paper": f64|null,
+//                     "closed_form": f64|null, "measured": f64|null,
+//                     "ci95": f64|null } ],
+//     "tables":   [ { "title": str, "headers": [str], "rows": [[str]] } ],
+//     "registry": { "counters": {str: u64}, "gauges": {str: f64},
+//                   "histograms": {str: {"bounds": [f64], "counts": [u64]}} }
+//   }
+//
+// `results` carries the paper/closed-form/measured triples the benches
+// already print; `tables` captures the rendered comparison tables verbatim
+// so no bench loses information in the translation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rfid::common {
+
+class MetricsRegistry;
+
+class RunReport {
+ public:
+  static constexpr const char* kSchema = "rfid-run-report/1";
+
+  RunReport(std::string benchName, std::string paperStatement);
+
+  // --- manifest ------------------------------------------------------------
+  void setSeed(std::uint64_t seed) { seed_ = seed; }
+  void setRounds(std::vector<std::uint64_t> rounds) {
+    rounds_ = std::move(rounds);
+  }
+  /// Adds one rounds entry (benches call this per paper case as they run).
+  void noteRounds(std::uint64_t rounds);
+  void setGitRevision(std::string rev) { gitRevision_ = std::move(rev); }
+  void setConfig(const std::string& key, std::string value);
+  void setConfig(const std::string& key, std::uint64_t value);
+  void setConfig(const std::string& key, double value);
+
+  // --- body ----------------------------------------------------------------
+  /// One paper/closed-form/measured triple (any component may be absent).
+  void addResult(const std::string& name, std::optional<double> paper,
+                 std::optional<double> closedForm,
+                 std::optional<double> measured,
+                 std::optional<double> ci95 = std::nullopt);
+  void addTable(const std::string& title, std::vector<std::string> headers,
+                std::vector<std::vector<std::string>> rows);
+  void addPhase(const std::string& name, double seconds);
+  /// Registry serialized at json() time; pass nullptr to detach. The
+  /// registry must outlive the report (or be detached first).
+  void attachRegistry(const MetricsRegistry* registry) {
+    registry_ = registry;
+  }
+
+  std::size_t resultCount() const noexcept { return results_.size(); }
+  std::size_t tableCount() const noexcept { return tables_.size(); }
+
+  /// Serializes the whole report as pretty-printed JSON.
+  std::string json() const;
+  /// Writes json() to `path`; returns false (and leaves no partial file
+  /// behind at best effort) when the file cannot be opened.
+  bool writeTo(const std::string& path) const;
+
+ private:
+  struct Result {
+    std::string name;
+    std::optional<double> paper, closedForm, measured, ci95;
+  };
+  struct Table {
+    std::string title;
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+  };
+  struct Phase {
+    std::string name;
+    double seconds;
+  };
+
+  std::string bench_;
+  std::string paper_;
+  std::uint64_t seed_ = 0;
+  std::vector<std::uint64_t> rounds_;
+  std::string gitRevision_ = "unknown";
+  std::map<std::string, std::string> config_;
+  std::vector<Phase> phases_;
+  std::vector<Result> results_;
+  std::vector<Table> tables_;
+  const MetricsRegistry* registry_ = nullptr;
+};
+
+/// JSON string escaping (quotes, backslashes, control characters).
+std::string jsonEscape(const std::string& s);
+/// Deterministic JSON number rendering; non-finite values become null.
+std::string jsonNumber(double v);
+
+}  // namespace rfid::common

@@ -43,44 +43,76 @@ double RunningStats::variance() const noexcept {
 
 double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
 
-double SampleSet::mean() const {
-  RunningStats s;
-  for (const double x : samples_) s.add(x);
-  return s.mean();
-}
-
-double SampleSet::stddev() const {
-  RunningStats s;
-  for (const double x : samples_) s.add(x);
-  return s.stddev();
+const std::vector<double>& SampleSet::sorted() const {
+  if (sortedDirty_ || sortedCache_.size() != samples_.size()) {
+    sortedCache_ = samples_;
+    std::sort(sortedCache_.begin(), sortedCache_.end());
+    sortedDirty_ = false;
+  }
+  return sortedCache_;
 }
 
 double SampleSet::min() const {
   RFID_REQUIRE(!samples_.empty(), "min of empty sample set");
-  return *std::min_element(samples_.begin(), samples_.end());
+  return sorted().front();
 }
 
 double SampleSet::max() const {
   RFID_REQUIRE(!samples_.empty(), "max of empty sample set");
-  return *std::max_element(samples_.begin(), samples_.end());
+  return sorted().back();
 }
 
 double SampleSet::percentile(double p) const {
   RFID_REQUIRE(!samples_.empty(), "percentile of empty sample set");
   RFID_REQUIRE(p >= 0.0 && p <= 100.0, "percentile p must be in [0, 100]");
-  std::vector<double> sorted = samples_;
-  std::sort(sorted.begin(), sorted.end());
-  if (sorted.size() == 1) return sorted.front();
-  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::vector<double>& view = sorted();
+  if (view.size() == 1) return view.front();
+  const double rank = p / 100.0 * static_cast<double>(view.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
   const double frac = rank - static_cast<double>(lo);
-  if (lo + 1 >= sorted.size()) return sorted.back();
-  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+  if (lo + 1 >= view.size()) return view.back();
+  return view[lo] + frac * (view[lo + 1] - view[lo]);
 }
 
 double SampleSet::ci95HalfWidth() const {
   if (samples_.size() < 2) return 0.0;
-  return 1.96 * stddev() / std::sqrt(static_cast<double>(samples_.size()));
+  return tCritical95(samples_.size() - 1) * stddev() /
+         std::sqrt(static_cast<double>(samples_.size()));
+}
+
+double tCritical95(std::size_t degreesOfFreedom) {
+  RFID_REQUIRE(degreesOfFreedom >= 1,
+               "t critical value needs at least one degree of freedom");
+  // t.ppf(0.975, df) for df = 1..30.
+  static constexpr double kExact[30] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (degreesOfFreedom <= 30) {
+    return kExact[degreesOfFreedom - 1];
+  }
+  // Beyond the table, interpolate linearly in 1/df between textbook anchors
+  // (accurate to ~1e-3, the table's own precision); the df → ∞ anchor is the
+  // normal 1.96.
+  struct Anchor {
+    double invDf;
+    double t;
+  };
+  static constexpr Anchor kAnchors[] = {{1.0 / 30.0, 2.042},
+                                        {1.0 / 40.0, 2.021},
+                                        {1.0 / 60.0, 2.000},
+                                        {1.0 / 120.0, 1.980},
+                                        {0.0, 1.960}};
+  const double invDf = 1.0 / static_cast<double>(degreesOfFreedom);
+  for (std::size_t i = 1; i < std::size(kAnchors); ++i) {
+    if (invDf >= kAnchors[i].invDf) {
+      const Anchor& hi = kAnchors[i - 1];
+      const Anchor& lo = kAnchors[i];
+      const double frac = (invDf - lo.invDf) / (hi.invDf - lo.invDf);
+      return lo.t + frac * (hi.t - lo.t);
+    }
+  }
+  return 1.960;
 }
 
 double chiSquareStatistic(const std::vector<double>& observed,

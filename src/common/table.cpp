@@ -21,6 +21,25 @@ void TextTable::addRow(std::vector<std::string> cells) {
 
 void TextTable::addRule() { rows_.push_back(Row{{}, true}); }
 
+std::vector<std::vector<std::string>> TextTable::dataRows() const {
+  std::vector<std::vector<std::string>> out;
+  out.reserve(rows_.size());
+  for (const Row& row : rows_) {
+    if (!row.rule) out.push_back(row.cells);
+  }
+  return out;
+}
+
+namespace {
+TextTable::PrintSink gPrintSink = nullptr;
+void* gPrintSinkContext = nullptr;
+}  // namespace
+
+void TextTable::setPrintSink(PrintSink sink, void* context) noexcept {
+  gPrintSink = sink;
+  gPrintSinkContext = context;
+}
+
 std::string TextTable::str() const {
   std::vector<std::size_t> widths(headers_.size());
   for (std::size_t c = 0; c < headers_.size(); ++c) {
@@ -63,6 +82,9 @@ std::string TextTable::str() const {
 }
 
 std::ostream& operator<<(std::ostream& os, const TextTable& t) {
+  if (gPrintSink != nullptr) {
+    gPrintSink(gPrintSinkContext, t);
+  }
   return os << t.str();
 }
 

@@ -19,10 +19,22 @@ class TextTable {
   void addRule();
 
   std::size_t rowCount() const noexcept { return rows_.size(); }
+  const std::vector<std::string>& headers() const noexcept { return headers_; }
+  /// Data rows in insertion order (rules omitted) — the serialization view
+  /// the run-report layer captures.
+  std::vector<std::vector<std::string>> dataRows() const;
 
   /// Renders with a header row, outer borders and padded columns.
   std::string str() const;
   friend std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+  /// Observability tap: when set, every table printed via operator<< is
+  /// also handed to `sink` (used by bench/bench_support.hpp to mirror the
+  /// printed comparison tables into the JSON run report without touching
+  /// each bench). Pass nullptr to clear. Not thread-safe; set during
+  /// single-threaded bench setup.
+  using PrintSink = void (*)(void* context, const TextTable& table);
+  static void setPrintSink(PrintSink sink, void* context) noexcept;
 
  private:
   struct Row {

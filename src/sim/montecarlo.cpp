@@ -1,5 +1,6 @@
 #include "sim/montecarlo.hpp"
 
+#include <chrono>
 #include <new>
 #include <vector>
 
@@ -18,9 +19,11 @@ constexpr std::size_t kCacheLine = 64;
 /// One round's accumulator, padded to a cache-line boundary so that workers
 /// writing adjacent rounds never share a line (the counters inside Metrics
 /// are updated on every simulated slot, so a shared line would ping-pong
-/// between cores for the whole round).
+/// between cores for the whole round). The per-round wall-clock rides in
+/// the same padded slot for the same reason.
 struct alignas(kCacheLine) PaddedMetrics {
   Metrics value;
+  double seconds = 0.0;
 };
 
 }  // namespace
@@ -28,15 +31,29 @@ struct alignas(kCacheLine) PaddedMetrics {
 std::vector<Metrics> runMonteCarlo(
     std::size_t rounds, std::uint64_t seed,
     const std::function<void(common::Rng&, Metrics&)>& round,
-    unsigned threads) {
+    unsigned threads, MonteCarloStats* stats) {
+  using Clock = std::chrono::steady_clock;
+  const auto callStart = Clock::now();
   std::vector<PaddedMetrics> padded(rounds);
   common::parallelFor(
       0, rounds,
       [&](std::size_t k) {
+        const auto roundStart = Clock::now();
         common::Rng rng = common::Rng::forStream(seed, k);
         round(rng, padded[k].value);
+        padded[k].seconds =
+            std::chrono::duration<double>(Clock::now() - roundStart).count();
       },
       threads);
+  if (stats != nullptr) {
+    ++stats->calls;
+    stats->wallSeconds +=
+        std::chrono::duration<double>(Clock::now() - callStart).count();
+    for (const PaddedMetrics& p : padded) {
+      stats->roundSeconds.add(p.seconds);
+      stats->totalSlots += p.value.detectedCensus().total();
+    }
+  }
   std::vector<Metrics> results;
   results.reserve(rounds);
   for (PaddedMetrics& p : padded) {

@@ -7,17 +7,39 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/stats.hpp"
 #include "sim/metrics.hpp"
 
 namespace rfid::sim {
 
+/// Wall-clock instrumentation of one or more runMonteCarlo calls.
+/// Accumulating (not overwritten) across calls, so a bench sweeping many
+/// configurations can hand the same instance to each and read whole-run
+/// totals at the end. Timing is measured around the simulation only; it
+/// does not perturb the rounds (per-round timestamps are taken in the
+/// worker, aggregation happens serially after the parallel region).
+struct MonteCarloStats {
+  std::uint64_t calls = 0;          ///< runMonteCarlo invocations
+  double wallSeconds = 0.0;         ///< total wall-clock across calls
+  common::RunningStats roundSeconds;  ///< per-round wall-clock
+  std::uint64_t totalSlots = 0;     ///< detected-census slots simulated
+
+  /// Slots per wall-clock second over everything accumulated so far.
+  double slotsPerSecond() const noexcept {
+    return wallSeconds > 0.0
+               ? static_cast<double>(totalSlots) / wallSeconds
+               : 0.0;
+  }
+};
+
 /// Runs `rounds` independent rounds. Round k receives Rng::forStream(seed, k)
 /// and its own Metrics instance; the returned vector is indexed by round, so
 /// results are bit-identical regardless of `threads` (0 = hardware
-/// concurrency, 1 = serial).
+/// concurrency, 1 = serial). When `stats` is non-null the call's wall-clock,
+/// per-round durations and slot total are accumulated into it.
 std::vector<Metrics> runMonteCarlo(
     std::size_t rounds, std::uint64_t seed,
     const std::function<void(common::Rng&, Metrics&)>& round,
-    unsigned threads = 0);
+    unsigned threads = 0, MonteCarloStats* stats = nullptr);
 
 }  // namespace rfid::sim

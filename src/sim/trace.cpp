@@ -2,6 +2,8 @@
 
 #include <ostream>
 
+#include "common/registry.hpp"
+
 namespace rfid::sim {
 
 CsvTraceWriter::CsvTraceWriter(std::ostream& out) : out_(out) {
@@ -14,6 +16,34 @@ void CsvTraceWriter::onSlot(const SlotEvent& event) {
        << phy::toString(event.detectedType) << ',' << event.responders << ','
        << event.startMicros << ',' << event.durationMicros << ','
        << event.identified << '\n';
+}
+
+RegistryObserver::RegistryObserver(common::MetricsRegistry& registry,
+                                   const std::string& prefix) {
+  const auto typeCounter = [&](const char* census, phy::SlotType t) {
+    return &registry.counter(prefix + "." + census + "." + phy::toString(t));
+  };
+  for (const phy::SlotType t :
+       {phy::SlotType::kIdle, phy::SlotType::kSingle,
+        phy::SlotType::kCollided}) {
+    trueType_[static_cast<std::size_t>(t)] = typeCounter("true", t);
+    detectedType_[static_cast<std::size_t>(t)] = typeCounter("detected", t);
+  }
+  slots_ = &registry.counter(prefix + ".total");
+  identified_ = &registry.counter(prefix + ".identified");
+  responders_ = &registry.histogram(
+      prefix + ".responders", {0, 1, 2, 4, 8, 16, 32, 64, 128, 256});
+  durationMicros_ = &registry.histogram(
+      prefix + ".duration_us", {1, 2, 4, 8, 16, 32, 64, 128, 256, 512});
+}
+
+void RegistryObserver::onSlot(const SlotEvent& event) {
+  trueType_[static_cast<std::size_t>(event.trueType)]->add();
+  detectedType_[static_cast<std::size_t>(event.detectedType)]->add();
+  slots_->add();
+  identified_->add(event.identified);
+  responders_->record(static_cast<double>(event.responders));
+  durationMicros_->record(event.durationMicros);
 }
 
 }  // namespace rfid::sim

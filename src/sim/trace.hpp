@@ -1,14 +1,24 @@
-// Slot-level tracing: an observer hook on the slot engine plus a CSV
-// writer, for debugging protocol behaviour and exporting figure data
-// without touching the hot path when no observer is attached.
+// Slot-level tracing: an observer hook on the slot engine plus sinks — a
+// CSV writer for figure data, a registry feeder for run-report histograms,
+// and a fanout to combine them — without touching the hot path when no
+// observer is attached. Every sink's onSlot is allocation-free so an
+// attached observer preserves the engine's §5a zero-allocation guarantee.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "phy/timing.hpp"
+
+namespace rfid::common {
+class Counter;
+class Histogram;
+class MetricsRegistry;
+}  // namespace rfid::common
 
 namespace rfid::sim {
 
@@ -47,6 +57,46 @@ class CsvTraceWriter final : public SlotObserver {
 
  private:
   std::ostream& out_;
+};
+
+/// Dispatches one event stream to several sinks (e.g. a CSV trace and a
+/// registry feeder at once). attach() is setup-time; onSlot only walks the
+/// fixed sink list.
+class FanoutObserver final : public SlotObserver {
+ public:
+  /// Ignores nullptr so callers can pass optional sinks unconditionally.
+  void attach(SlotObserver* sink) {
+    if (sink != nullptr) sinks_.push_back(sink);
+  }
+  bool empty() const noexcept { return sinks_.empty(); }
+
+  void onSlot(const SlotEvent& event) override {
+    for (SlotObserver* sink : sinks_) sink->onSlot(event);
+  }
+
+ private:
+  std::vector<SlotObserver*> sinks_;
+};
+
+/// Feeds a common::MetricsRegistry from slot events: per-type counters for
+/// the true and detected censuses, an identified-tag counter, and
+/// fixed-bucket histograms of responders-per-slot and slot airtime. All
+/// instruments are registered under `<prefix>.` in the constructor; onSlot
+/// is pure counter/histogram arithmetic (no allocation), so this observer
+/// can stay attached for a 10⁸-slot sweep.
+class RegistryObserver final : public SlotObserver {
+ public:
+  explicit RegistryObserver(common::MetricsRegistry& registry,
+                            const std::string& prefix = "slots");
+  void onSlot(const SlotEvent& event) override;
+
+ private:
+  std::array<common::Counter*, 3> trueType_{};
+  std::array<common::Counter*, 3> detectedType_{};
+  common::Counter* slots_ = nullptr;
+  common::Counter* identified_ = nullptr;
+  common::Histogram* responders_ = nullptr;
+  common::Histogram* durationMicros_ = nullptr;
 };
 
 }  // namespace rfid::sim

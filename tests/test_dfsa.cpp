@@ -66,6 +66,33 @@ TEST(Estimators, VogtNeverBelowDeterministicFloor) {
   EXPECT_GE(vogtContenderEstimate(c, 4096), 4u + 2u * 12u);
 }
 
+TEST(Estimators, VogtExtendsSearchPastTruncatingCeiling) {
+  // Small frame, large backlog: the expected census of n = 40 tags in
+  // F = 16 slots (e0 ≈ 1.2, e1 ≈ 3.2, rest collided). The χ² minimum lies
+  // near 40, past a searchCeiling of 20 — the old clamp returned the
+  // ceiling itself, understating the backlog by 2x. The scan must extend
+  // its window until the minimum is interior and agree with an unclamped
+  // search.
+  FrameCensus c{.frameSize = 16, .idle = 1, .single = 3, .collided = 12};
+  const std::size_t clamped = vogtContenderEstimate(c, /*searchCeiling=*/20);
+  const std::size_t generous = vogtContenderEstimate(c, /*searchCeiling=*/272);
+  EXPECT_EQ(clamped, generous);
+  EXPECT_GT(clamped, 30u);
+  EXPECT_LT(clamped, 60u);
+}
+
+TEST(Estimators, VogtSaturatedCensusStaysBounded) {
+  // An all-collided census has no interior minimum: the χ² error decays
+  // monotonically as n grows, so a naive boundary-extension would chase it
+  // to the cap. The improvement cutoff must stop the search at a finite,
+  // sane multiple of the deterministic floor rather than returning the
+  // 2^16 hard cap.
+  FrameCensus c{.frameSize = 16, .idle = 0, .single = 0, .collided = 16};
+  const std::size_t est = vogtContenderEstimate(c, 16 * 16 + 16);
+  EXPECT_GE(est, 32u);          // the deterministic floor 2·collided
+  EXPECT_LT(est, std::size_t{1} << 16);
+}
+
 TEST(Estimators, VogtValidation) {
   FrameCensus c{.frameSize = 0, .idle = 0, .single = 0, .collided = 0};
   EXPECT_THROW(vogtContenderEstimate(c, 10), PreconditionError);

@@ -83,6 +83,41 @@ TEST(MonteCarlo, ZeroRounds) {
   EXPECT_TRUE(results.empty());
 }
 
+TEST(MonteCarlo, StatsAccumulateAcrossCalls) {
+  rfid::sim::MonteCarloStats stats;
+  EXPECT_DOUBLE_EQ(stats.slotsPerSecond(), 0.0);  // no wall-clock yet
+
+  const auto first = runMonteCarlo(5, 9, fakeRound, 1, &stats);
+  EXPECT_EQ(stats.calls, 1u);
+  EXPECT_EQ(stats.roundSeconds.count(), 5u);
+  EXPECT_GT(stats.wallSeconds, 0.0);
+  std::uint64_t slots = 0;
+  for (const Metrics& m : first) slots += m.detectedCensus().total();
+  EXPECT_EQ(stats.totalSlots, slots);
+  EXPECT_GT(stats.slotsPerSecond(), 0.0);
+
+  // A second call adds to the same instance rather than resetting it.
+  const double wallAfterFirst = stats.wallSeconds;
+  const auto second = runMonteCarlo(3, 10, fakeRound, 2, &stats);
+  for (const Metrics& m : second) slots += m.detectedCensus().total();
+  EXPECT_EQ(stats.calls, 2u);
+  EXPECT_EQ(stats.roundSeconds.count(), 8u);
+  EXPECT_GE(stats.wallSeconds, wallAfterFirst);
+  EXPECT_EQ(stats.totalSlots, slots);
+}
+
+TEST(MonteCarlo, StatsDoNotPerturbResults) {
+  rfid::sim::MonteCarloStats stats;
+  const auto plain = runMonteCarlo(8, 55, fakeRound, 1);
+  const auto timed = runMonteCarlo(8, 55, fakeRound, 1, &stats);
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i].detectedCensus().total(),
+              timed[i].detectedCensus().total());
+    EXPECT_DOUBLE_EQ(plain[i].totalAirtimeMicros(),
+                     timed[i].totalAirtimeMicros());
+  }
+}
+
 TEST(MonteCarlo, GoldenValuesPinStreamDerivation) {
   // Hard-coded per-round censuses for seed 20100913 under the documented
   // forStream recipe (splitmix64 over the mixed seed plus the stream index).

@@ -1,0 +1,123 @@
+// MetricsRegistry: counter/gauge/histogram semantics, idempotent lookup,
+// bucket-edge behaviour and the implicit overflow bucket.
+#include "common/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/require.hpp"
+
+namespace {
+
+using rfid::common::Counter;
+using rfid::common::Gauge;
+using rfid::common::Histogram;
+using rfid::common::MetricsRegistry;
+using rfid::common::PreconditionError;
+
+TEST(Registry, CounterAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Registry, GaugeIsLastWriteWins) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(3.5);
+  g.set(-1.25);
+  EXPECT_DOUBLE_EQ(g.value(), -1.25);
+}
+
+TEST(Registry, HistogramBucketEdgesAreInclusiveUpperBounds) {
+  Histogram h({0.0, 1.0, 2.0});
+  ASSERT_EQ(h.counts().size(), 4u);  // 3 bounds + overflow
+  h.record(-5.0);  // below everything → first bucket
+  h.record(0.0);   // exactly on a bound → that bucket (inclusive)
+  h.record(0.5);
+  h.record(1.0);
+  h.record(2.0);
+  h.record(2.0001);  // past the last bound → overflow
+  const std::vector<std::uint64_t> counts(h.counts().begin(),
+                                          h.counts().end());
+  EXPECT_EQ(counts, (std::vector<std::uint64_t>{2, 2, 1, 1}));
+  EXPECT_EQ(h.total(), 6u);
+}
+
+TEST(Registry, HistogramRejectsUnsortedBounds) {
+  EXPECT_THROW(Histogram({2.0, 1.0}), PreconditionError);
+}
+
+TEST(Registry, HistogramWithNoBoundsIsOneOverflowBucket) {
+  Histogram h({});
+  h.record(-1.0);
+  h.record(1e9);
+  ASSERT_EQ(h.counts().size(), 1u);
+  EXPECT_EQ(h.counts()[0], 2u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Registry, LookupIsIdempotent) {
+  MetricsRegistry reg;
+  EXPECT_TRUE(reg.empty());
+  Counter& c1 = reg.counter("a");
+  c1.add(3);
+  Counter& c2 = reg.counter("a");
+  EXPECT_EQ(&c1, &c2);
+  EXPECT_EQ(c2.value(), 3u);
+  EXPECT_FALSE(reg.empty());
+
+  Histogram& h1 = reg.histogram("h", {1.0, 2.0});
+  h1.record(1.5);
+  // Second lookup ignores its bounds and returns the same instrument.
+  Histogram& h2 = reg.histogram("h", {100.0});
+  EXPECT_EQ(&h1, &h2);
+  ASSERT_EQ(h2.bounds().size(), 2u);
+  EXPECT_EQ(h2.total(), 1u);
+}
+
+TEST(Registry, NamespacesAreIndependent) {
+  // A counter, a gauge and a histogram may share a name without clashing.
+  MetricsRegistry reg;
+  reg.counter("x").add(1);
+  reg.gauge("x").set(2.0);
+  reg.histogram("x", {}).record(3.0);
+  EXPECT_EQ(reg.counters().size(), 1u);
+  EXPECT_EQ(reg.gauges().size(), 1u);
+  EXPECT_EQ(reg.histograms().size(), 1u);
+  EXPECT_EQ(reg.counter("x").value(), 1u);
+  EXPECT_DOUBLE_EQ(reg.gauge("x").value(), 2.0);
+  EXPECT_EQ(reg.histogram("x", {}).total(), 1u);
+}
+
+TEST(Registry, IterationIsNameSorted) {
+  MetricsRegistry reg;
+  reg.counter("zeta");
+  reg.counter("alpha");
+  reg.counter("mid");
+  std::vector<std::string> names;
+  for (const auto& [name, counter] : reg.counters()) {
+    (void)counter;
+    names.push_back(name);
+  }
+  EXPECT_EQ(names, (std::vector<std::string>{"alpha", "mid", "zeta"}));
+}
+
+TEST(Registry, ReferencesSurviveLaterRegistrations) {
+  // Node-stable storage: instrument references taken early must stay valid
+  // while other names are being registered (the RegistryObserver pattern).
+  MetricsRegistry reg;
+  Counter& early = reg.counter("early");
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("filler-" + std::to_string(i)).add(1);
+  }
+  early.add(7);
+  EXPECT_EQ(reg.counter("early").value(), 7u);
+}
+
+}  // namespace

@@ -1,0 +1,173 @@
+// RunReport: golden-file test pinning the rfid-run-report/1 JSON schema
+// byte-for-byte, plus escaping/number-rendering rules and writeTo.
+#include "common/run_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "common/registry.hpp"
+#include "common/require.hpp"
+
+namespace {
+
+using rfid::common::jsonEscape;
+using rfid::common::jsonNumber;
+using rfid::common::MetricsRegistry;
+using rfid::common::PreconditionError;
+using rfid::common::RunReport;
+
+TEST(RunReport, JsonEscaping) {
+  EXPECT_EQ(jsonEscape("plain"), "plain");
+  EXPECT_EQ(jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(jsonEscape("line\nbreak\ttab\rret"),
+            "line\\nbreak\\ttab\\rret");
+  EXPECT_EQ(jsonEscape(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST(RunReport, JsonNumberRendering) {
+  EXPECT_EQ(jsonNumber(0.0), "0");
+  EXPECT_EQ(jsonNumber(42.0), "42");
+  EXPECT_EQ(jsonNumber(-7.0), "-7");
+  EXPECT_EQ(jsonNumber(0.25), "0.25");
+  EXPECT_EQ(jsonNumber(0.37), "0.37");
+  // Non-finite values serialize as null so the file stays valid JSON.
+  EXPECT_EQ(jsonNumber(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(jsonNumber(std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(RunReport, RequiresBenchName) {
+  EXPECT_THROW(RunReport("", "statement"), PreconditionError);
+}
+
+TEST(RunReport, NoteRoundsDeduplicates) {
+  RunReport r("b", "p");
+  r.noteRounds(100);
+  r.noteRounds(100);
+  r.noteRounds(3);
+  r.noteRounds(100);
+  EXPECT_NE(r.json().find("\"rounds\": [100, 3]"), std::string::npos);
+}
+
+TEST(RunReport, GoldenEmptyReport) {
+  const RunReport r("empty-bench", "");
+  EXPECT_EQ(r.json(),
+            "{\n"
+            "  \"schema\": \"rfid-run-report/1\",\n"
+            "  \"bench\": \"empty-bench\",\n"
+            "  \"paper\": \"\",\n"
+            "  \"manifest\": {\n"
+            "    \"seed\": 0,\n"
+            "    \"rounds\": [],\n"
+            "    \"git_revision\": \"unknown\",\n"
+            "    \"config\": {}\n"
+            "  },\n"
+            "  \"phases\": [],\n"
+            "  \"results\": [],\n"
+            "  \"tables\": [],\n"
+            "  \"registry\": {\"counters\": {}, \"gauges\": {}, "
+            "\"histograms\": {}}\n"
+            "}\n");
+}
+
+TEST(RunReport, GoldenFullReport) {
+  RunReport r("golden", "statement with a \"quote\"");
+  r.setSeed(20100913);
+  r.noteRounds(100);
+  r.noteRounds(3);
+  r.setGitRevision("abcdef123456");
+  r.setConfig("knob", std::string("value"));
+  r.setConfig("count", std::uint64_t{7});
+  r.setConfig("ratio", 0.25);
+  r.addPhase("warmup", 0.5);
+  r.addResult("throughput", /*paper=*/0.25, /*closedForm=*/0.2231,
+              /*measured=*/0.248, /*ci95=*/0.003);
+  r.addResult("only-measured", std::nullopt, std::nullopt, 1.0);
+  r.addTable("comparison", {"a", "b"}, {{"1", "2"}, {"3", "4"}});
+  MetricsRegistry reg;
+  reg.counter("slots.total").add(5);
+  reg.gauge("sim.slots_per_sec").set(1.5);
+  reg.histogram("slots.responders", {1.0, 2.0}).record(1.5);
+  r.attachRegistry(&reg);
+  EXPECT_EQ(r.resultCount(), 2u);
+  EXPECT_EQ(r.tableCount(), 1u);
+
+  EXPECT_EQ(
+      r.json(),
+      "{\n"
+      "  \"schema\": \"rfid-run-report/1\",\n"
+      "  \"bench\": \"golden\",\n"
+      "  \"paper\": \"statement with a \\\"quote\\\"\",\n"
+      "  \"manifest\": {\n"
+      "    \"seed\": 20100913,\n"
+      "    \"rounds\": [100, 3],\n"
+      "    \"git_revision\": \"abcdef123456\",\n"
+      "    \"config\": {\n"
+      "      \"count\": \"7\",\n"
+      "      \"knob\": \"value\",\n"
+      "      \"ratio\": \"0.25\"\n"
+      "    }\n"
+      "  },\n"
+      "  \"phases\": [\n"
+      "    {\"name\": \"warmup\", \"seconds\": 0.5}\n"
+      "  ],\n"
+      "  \"results\": [\n"
+      "    {\"name\": \"throughput\", \"paper\": 0.25, \"closed_form\": "
+      "0.2231, \"measured\": 0.248, \"ci95\": 0.003},\n"
+      "    {\"name\": \"only-measured\", \"paper\": null, \"closed_form\": "
+      "null, \"measured\": 1, \"ci95\": null}\n"
+      "  ],\n"
+      "  \"tables\": [\n"
+      "    {\"title\": \"comparison\",\n"
+      "     \"headers\": [\"a\", \"b\"],\n"
+      "     \"rows\": [\n"
+      "       [\"1\", \"2\"],\n"
+      "       [\"3\", \"4\"]\n"
+      "     ]}\n"
+      "  ],\n"
+      "  \"registry\": {\n"
+      "    \"counters\": {\n"
+      "      \"slots.total\": 5\n"
+      "    },\n"
+      "    \"gauges\": {\n"
+      "      \"sim.slots_per_sec\": 1.5\n"
+      "    },\n"
+      "    \"histograms\": {\n"
+      "      \"slots.responders\": {\"bounds\": [1, 2], \"counts\": "
+      "[0, 1, 0]}\n"
+      "    }\n"
+      "  }\n"
+      "}\n");
+}
+
+TEST(RunReport, DetachedRegistrySerializesEmpty) {
+  RunReport r("b", "p");
+  MetricsRegistry reg;
+  reg.counter("c").add(1);
+  r.attachRegistry(&reg);
+  EXPECT_NE(r.json().find("\"c\": 1"), std::string::npos);
+  r.attachRegistry(nullptr);
+  EXPECT_EQ(r.json().find("\"c\": 1"), std::string::npos);
+}
+
+TEST(RunReport, WriteToRoundTripsAndFailsOnBadPath) {
+  RunReport r("disk", "p");
+  r.addResult("x", 1.0, std::nullopt, 0.99);
+  const std::string path = ::testing::TempDir() + "rfid_run_report_test.json";
+  ASSERT_TRUE(r.writeTo(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::ostringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), r.json());
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(r.writeTo("/nonexistent-dir/never/report.json"));
+}
+
+}  // namespace

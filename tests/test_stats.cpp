@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/require.hpp"
 #include "common/rng.hpp"
@@ -143,11 +145,65 @@ TEST(ChiSquare, StatisticAndCriticalValues) {
 
 TEST(SampleSet, Ci95KnownValue) {
   SampleSet s;
-  // Samples with stddev exactly 1 around 0 (n = 2: -1, 1 → stddev √2).
+  // n = 2: samples -1, 1 → stddev √2, and the CI must use the Student-t
+  // critical value for df = 1 (12.706), not the normal z = 1.96 — with two
+  // samples a z-based interval is understated by a factor of 6.5.
   s.add(-1.0);
   s.add(1.0);
-  const double expected = 1.96 * std::sqrt(2.0) / std::sqrt(2.0);
-  EXPECT_NEAR(s.ci95HalfWidth(), expected, 1e-12);
+  const double expected = 12.706 * std::sqrt(2.0) / std::sqrt(2.0);
+  EXPECT_NEAR(s.ci95HalfWidth(), expected, 1e-9);
+}
+
+TEST(Stats, TCritical95PinnedValues) {
+  using rfid::common::tCritical95;
+  // Exact-table region (scipy t.ppf(0.975, df)).
+  EXPECT_NEAR(tCritical95(1), 12.706, 1e-9);
+  EXPECT_NEAR(tCritical95(2), 4.303, 1e-9);
+  EXPECT_NEAR(tCritical95(4), 2.776, 1e-9);
+  EXPECT_NEAR(tCritical95(9), 2.262, 1e-9);
+  EXPECT_NEAR(tCritical95(30), 2.042, 1e-9);
+  // Interpolated region: textbook t-table gives 2.021 @ 40, 2.000 @ 60,
+  // 1.980 @ 120; df = 99 is 1.9842 in scipy.
+  EXPECT_NEAR(tCritical95(40), 2.021, 1e-9);
+  EXPECT_NEAR(tCritical95(60), 2.000, 1e-9);
+  EXPECT_NEAR(tCritical95(99), 1.984, 2e-3);
+  EXPECT_NEAR(tCritical95(120), 1.980, 1e-9);
+  // Large-df limit: approaches (and never dips below) the normal z.
+  EXPECT_NEAR(tCritical95(100000), 1.960, 1e-3);
+  EXPECT_GE(tCritical95(100000), 1.960);
+  // Monotone decreasing in df.
+  for (std::size_t df = 1; df < 200; ++df) {
+    EXPECT_GE(tCritical95(df), tCritical95(df + 1)) << "df=" << df;
+  }
+  EXPECT_THROW(tCritical95(0), PreconditionError);
+}
+
+TEST(SampleSet, SortedCacheMatchesNaiveRecompute) {
+  // Interleave adds with order-statistic queries: the cached sorted view
+  // must stay value-identical to sorting from scratch each time.
+  Rng rng(24);
+  SampleSet set;
+  std::vector<double> naive;
+  for (int i = 0; i < 300; ++i) {
+    const double x = rng.real() * 100.0 - 50.0;
+    set.add(x);
+    naive.push_back(x);
+    if (i % 7 != 0) continue;  // query mid-stream, then keep adding
+    std::vector<double> sorted = naive;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_DOUBLE_EQ(set.min(), sorted.front());
+    EXPECT_DOUBLE_EQ(set.max(), sorted.back());
+    for (const double p : {10.0, 50.0, 90.0, 99.0}) {
+      SampleSet fresh;
+      for (const double v : naive) fresh.add(v);
+      EXPECT_DOUBLE_EQ(set.percentile(p), fresh.percentile(p))
+          << "n=" << naive.size() << " p=" << p;
+    }
+    RunningStats ref;
+    for (const double v : naive) ref.add(v);
+    EXPECT_NEAR(set.mean(), ref.mean(), 1e-12);
+    EXPECT_NEAR(set.stddev(), ref.stddev(), 1e-12);
+  }
 }
 
 }  // namespace

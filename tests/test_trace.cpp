@@ -5,9 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <sstream>
+#include <string>
 
 #include "anticollision/fsa.hpp"
+#include "common/registry.hpp"
 #include "helpers.hpp"
 
 namespace {
@@ -95,6 +98,128 @@ TEST(Trace, CsvIsWellFormed) {
         << line;
   }
   EXPECT_EQ(rows, h.metrics.detectedCensus().total());
+}
+
+TEST(Trace, IdleSlotAfterBusySlotReportsCleanEvent) {
+  // The engine reuses rxScratch_ across slots: after a busy slot its signal
+  // stays engaged (storage retention for the zero-allocation path), and an
+  // idle slot must not leak that stale reception into its event.
+  Harness h(10, 15);
+  RecordingObserver observer;
+  h.engine.setObserver(&observer);
+  const std::size_t busy[] = {0, 1, 2};
+  (void)h.engine.runSlot(h.tags, busy, h.rng);
+  (void)h.engine.runSlot(h.tags, {}, h.rng);
+  ASSERT_EQ(observer.events().size(), 2u);
+  const SlotEvent& idle = observer.events()[1];
+  EXPECT_EQ(idle.index, 1u);
+  EXPECT_EQ(idle.trueType, rfid::phy::SlotType::kIdle);
+  EXPECT_EQ(idle.detectedType, rfid::phy::SlotType::kIdle);
+  EXPECT_EQ(idle.responders, 0u);
+  EXPECT_EQ(idle.identified, 0u);
+  EXPECT_EQ(h.metrics.detectedCensus().idle, 1u);
+}
+
+TEST(Trace, PhantomAckSlotCountsEverySilencedResponder) {
+  // QCD at strength 1 has a single possible contention word (r = 1), so any
+  // collision superposes to a clean preamble and is misdetected as single.
+  // The reader's ACK silences every responder; the event must charge all of
+  // them to `identified` (they left the contention, believing themselves
+  // read), matching the phantom bookkeeping in Metrics.
+  Harness h(5, 16,
+            std::make_unique<rfid::core::QcdScheme>(rfid::phy::AirInterface{},
+                                                    /*strength=*/1));
+  RecordingObserver observer;
+  h.engine.setObserver(&observer);
+  const std::size_t colliders[] = {0, 1, 2, 3};
+  const auto detected = h.engine.runSlot(h.tags, colliders, h.rng);
+  ASSERT_EQ(detected, rfid::phy::SlotType::kSingle);
+  ASSERT_EQ(observer.events().size(), 1u);
+  const SlotEvent& e = observer.events()[0];
+  EXPECT_EQ(e.trueType, rfid::phy::SlotType::kCollided);
+  EXPECT_EQ(e.detectedType, rfid::phy::SlotType::kSingle);
+  EXPECT_EQ(e.responders, 4u);
+  EXPECT_EQ(e.identified, 4u);
+  EXPECT_EQ(h.metrics.identified(), 4u);
+  EXPECT_EQ(h.metrics.phantoms(), 1u);
+  for (const std::size_t idx : colliders) {
+    EXPECT_TRUE(h.tags[idx].believesIdentified);
+    EXPECT_FALSE(h.tags[idx].correctlyIdentified);
+  }
+}
+
+TEST(Trace, CaptureEffectWinnerIdentifiesExactlyOne) {
+  // With capture probability 1, every collision resolves to one cleanly
+  // received tag: the event reports a single identification and the winner
+  // is *correctly* identified (the reader read a real ID, not an OR-mixture
+  // phantom).
+  Harness h(6, 17, /*customScheme=*/{},
+            std::make_unique<rfid::phy::CaptureChannel>(1.0));
+  RecordingObserver observer;
+  h.engine.setObserver(&observer);
+  const std::size_t colliders[] = {0, 1, 2};
+  const auto detected = h.engine.runSlot(h.tags, colliders, h.rng);
+  ASSERT_EQ(detected, rfid::phy::SlotType::kSingle);
+  const SlotEvent& e = observer.events().at(0);
+  EXPECT_EQ(e.trueType, rfid::phy::SlotType::kCollided);
+  EXPECT_EQ(e.identified, 1u);
+  EXPECT_EQ(h.metrics.identified(), 1u);
+  EXPECT_EQ(h.metrics.phantoms(), 0u);
+  std::size_t believed = 0, correct = 0;
+  for (const std::size_t idx : colliders) {
+    believed += h.tags[idx].believesIdentified ? 1u : 0u;
+    correct += h.tags[idx].correctlyIdentified ? 1u : 0u;
+  }
+  EXPECT_EQ(believed, 1u);
+  EXPECT_EQ(correct, 1u);
+}
+
+TEST(Trace, FanoutDispatchesToEverySink) {
+  Harness h(30, 18);
+  RecordingObserver a, b;
+  rfid::sim::FanoutObserver fanout;
+  EXPECT_TRUE(fanout.empty());
+  fanout.attach(nullptr);  // optional sinks may be absent
+  EXPECT_TRUE(fanout.empty());
+  fanout.attach(&a);
+  fanout.attach(&b);
+  EXPECT_FALSE(fanout.empty());
+  h.engine.setObserver(&fanout);
+  FramedSlottedAloha fsa(16);
+  ASSERT_TRUE(fsa.run(h.engine, h.tags, h.rng));
+  ASSERT_EQ(a.events().size(), b.events().size());
+  ASSERT_EQ(a.events().size(), h.metrics.detectedCensus().total());
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_EQ(a.events()[i].index, b.events()[i].index);
+    EXPECT_EQ(a.events()[i].detectedType, b.events()[i].detectedType);
+    EXPECT_EQ(a.events()[i].identified, b.events()[i].identified);
+  }
+}
+
+TEST(Trace, RegistryObserverMirrorsMetrics) {
+  Harness h(50, 19);
+  rfid::common::MetricsRegistry registry;
+  rfid::sim::RegistryObserver observer(registry, "slots");
+  h.engine.setObserver(&observer);
+  FramedSlottedAloha fsa(32);
+  ASSERT_TRUE(fsa.run(h.engine, h.tags, h.rng));
+
+  const auto counter = [&](const std::string& name) {
+    return registry.counter(name).value();
+  };
+  const auto& det = h.metrics.detectedCensus();
+  const auto& tru = h.metrics.trueCensus();
+  EXPECT_EQ(counter("slots.total"), det.total());
+  EXPECT_EQ(counter("slots.detected.idle"), det.idle);
+  EXPECT_EQ(counter("slots.detected.single"), det.single);
+  EXPECT_EQ(counter("slots.detected.collided"), det.collided);
+  EXPECT_EQ(counter("slots.true.idle"), tru.idle);
+  EXPECT_EQ(counter("slots.true.single"), tru.single);
+  EXPECT_EQ(counter("slots.true.collided"), tru.collided);
+  EXPECT_EQ(counter("slots.identified"), h.metrics.identified());
+  // Every slot lands in exactly one bucket of each histogram.
+  EXPECT_EQ(registry.histogram("slots.responders", {}).total(), det.total());
+  EXPECT_EQ(registry.histogram("slots.duration_us", {}).total(), det.total());
 }
 
 TEST(Trace, DetachStopsEvents) {
