@@ -7,6 +7,9 @@
 //
 // Environment conventions (honored by every bench binary):
 //   RFID_ROUNDS=<n>    force n Monte-Carlo rounds for every paper case
+//   RFID_THREADS=<n>   force n worker threads for Monte-Carlo sweeps and
+//                      the inventory-service worker pool (0/unset = auto,
+//                      i.e. hardware concurrency)
 //   RFID_JSON=<path>   write a rfid-run-report/1 JSON run report to <path>
 //                      (manifest with seed/rounds/git revision/config, the
 //                      printed comparison tables, explicit paper/closed-form/
@@ -132,6 +135,12 @@ inline std::string gitRevision() {
 
 }  // namespace detail
 
+/// RFID_THREADS override: worker threads for runMonteCarlo sweeps and the
+/// service worker pool. 0 (unset/unparsable) = auto.
+inline unsigned threadsOverride() {
+  return static_cast<unsigned>(common::envOr("RFID_THREADS", 0));
+}
+
 /// The active run report. Valid after printHeader()/initObservability().
 inline common::RunReport& report() { return *detail::obs().report; }
 
@@ -167,6 +176,10 @@ inline void initObservability(const std::string& name,
   if (const std::uint64_t forced = common::envOr("RFID_ROUNDS", 0);
       forced > 0) {
     o.report->setConfig("rfid_rounds_env", forced);
+  }
+  if (const std::uint64_t threads = common::envOr("RFID_THREADS", 0);
+      threads > 0) {
+    o.report->setConfig("rfid_threads_env", threads);
   }
   if (!tracePath.empty()) {
     o.traceFile = std::make_unique<std::ofstream>(tracePath, std::ios::trunc);
@@ -251,6 +264,7 @@ inline anticollision::ExperimentConfig paperConfig(
   cfg.frameSize = pc.frameSize;
   cfg.rounds = roundsForCase(caseIndex);
   cfg.seed = kPaperSeed;
+  cfg.threads = threadsOverride();
   cfg.observer = slotObserver();
   cfg.stats = &simStats();
   detail::Observability& o = detail::obs();

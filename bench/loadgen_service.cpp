@@ -1,0 +1,161 @@
+// Open-loop offered-load sweep against the inventory census service — the
+// repo's first closed-loop "serving" benchmark (ROADMAP serving milestone,
+// not a paper figure).
+//
+// Procedure:
+//   1. Measure capacity: mean standalone service time of the probe request
+//      → workers / mean = saturation throughput.
+//   2. Sweep offered load at 0.5×, 0.75×, 1×, 1.5×, 2× of that capacity
+//      with deterministic Poisson arrivals (open loop: arrivals never wait
+//      for completions).
+//   3. Report per-point completion throughput, rejection split
+//      (queue-full vs deadline), and p50/p95/p99 queue-wait / service-time
+//      latency — printed as a table and emitted as the run report's
+//      "service" section (validated by scripts/validate_report.py).
+//
+// Knobs: RFID_THREADS forces the worker count; RFID_LOADGEN_REQUESTS the
+// per-point request count. Arrival schedules and census results are
+// deterministic; measured latencies and rejection counts depend on host
+// timing, as any serving benchmark's do.
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_support.hpp"
+#include "common/table.hpp"
+#include "service/inventory_service.hpp"
+#include "service/loadgen.hpp"
+
+namespace {
+
+using rfid::anticollision::ProtocolKind;
+using rfid::anticollision::SchemeKind;
+using rfid::bench::kPaperSeed;
+using rfid::common::ServiceLoadPoint;
+using rfid::common::TextTable;
+using rfid::common::fmtCount;
+using rfid::common::fmtDouble;
+using rfid::common::fmtPercent;
+using rfid::service::CensusRequest;
+using rfid::service::InventoryService;
+using rfid::service::LoadPointResult;
+using rfid::service::ServiceConfig;
+
+double pct(const rfid::common::SampleSet& s, double p) {
+  return s.empty() ? 0.0 : s.percentile(p);
+}
+
+}  // namespace
+
+int main() {
+  rfid::bench::printHeader(
+      "loadgen_service",
+      "Service layer: bounded queue + sharded workers under open-loop "
+      "Poisson load (latency, throughput, rejection curves)");
+
+  // Probe request: small FSA/QCD census, one round — service times in the
+  // hundreds of microseconds so a full sweep stays in the seconds range.
+  CensusRequest probe;
+  probe.protocol = ProtocolKind::kFsa;
+  probe.scheme = SchemeKind::kQcd;
+  probe.qcdStrength = 8;
+  probe.tagCount = 40;
+  probe.frameSize = 32;
+  probe.rounds = 1;
+  probe.seed = 0;
+  probe.deadlineMicros = 200000.0;  // 200 ms: overload sheds via deadline too
+
+  const unsigned forced = rfid::bench::threadsOverride();
+  const unsigned workers = forced != 0 ? forced : 2;
+  const std::size_t requestsPerPoint =
+      static_cast<std::size_t>(rfid::common::envOr(
+          "RFID_LOADGEN_REQUESTS", std::uint64_t{150}));
+
+  double capacity = 0.0;
+  {
+    rfid::bench::ScopedPhase phase("capacity_probe");
+    capacity =
+        rfid::service::measuredCapacityPerSec(probe, kPaperSeed, 40, workers);
+  }
+  std::cout << "Measured capacity: " << fmtDouble(capacity, 1)
+            << " requests/sec (" << workers << " workers)\n\n";
+
+  rfid::bench::report().setConfig("service.workers", std::uint64_t{workers});
+  rfid::bench::report().setConfig("service.requests_per_point",
+                                  std::uint64_t{requestsPerPoint});
+  rfid::bench::report().setConfig("service.capacity_per_sec", capacity);
+  rfid::bench::report().noteRounds(requestsPerPoint);
+
+  const ServiceConfig serviceConfig = [&] {
+    ServiceConfig cfg;
+    cfg.shards = workers >= 4 ? 2u : 1u;
+    cfg.workersPerShard = workers / cfg.shards;
+    cfg.queueCapacity = 32;
+    cfg.seed = kPaperSeed;
+    cfg.registry = &rfid::bench::registry();
+    return cfg;
+  }();
+  rfid::bench::report().setServiceTopology(
+      serviceConfig.shards,
+      serviceConfig.shards * serviceConfig.workersPerShard,
+      serviceConfig.queueCapacity);
+
+  const std::vector<double> multipliers = {0.5, 0.75, 1.0, 1.5, 2.0};
+  TextTable table({"offered x", "offered/s", "completed/s", "rejected",
+                   "rej rate", "wait p50 us", "wait p99 us", "svc p50 us",
+                   "svc p99 us"});
+
+  rfid::bench::ScopedPhase sweepPhase("offered_load_sweep");
+  for (std::size_t m = 0; m < multipliers.size(); ++m) {
+    const double rate = capacity * multipliers[m];
+    // Fresh service per point so queue state never leaks across points;
+    // the shared registry keeps accumulating sweep-wide totals.
+    InventoryService service(serviceConfig);
+    const LoadPointResult point = rfid::service::runOpenLoop(
+        service, probe, requestsPerPoint, rate, kPaperSeed + m);
+    service.close();
+    service.drain();
+
+    table.addRow({fmtDouble(multipliers[m], 2), fmtDouble(rate, 1),
+                  fmtDouble(point.completedPerSec(), 1),
+                  fmtCount(point.rejected()),
+                  fmtPercent(point.rejectionRate()),
+                  fmtDouble(pct(point.queueWaitMicros, 50.0), 1),
+                  fmtDouble(pct(point.queueWaitMicros, 99.0), 1),
+                  fmtDouble(pct(point.serviceMicros, 50.0), 1),
+                  fmtDouble(pct(point.serviceMicros, 99.0), 1)});
+
+    std::string label = "x";
+    label += fmtDouble(multipliers[m], 2);
+    ServiceLoadPoint rp;
+    rp.name = label;
+    rp.offeredPerSec = rate;
+    rp.submitted = point.submitted;
+    rp.completed = point.completed;
+    rp.rejectedQueueFull = point.rejectedQueueFull;
+    rp.rejectedDeadline = point.rejectedDeadline;
+    rp.rejectionRate = point.rejectionRate();
+    rp.completedPerSec = point.completedPerSec();
+    rp.queueWaitP50Us = pct(point.queueWaitMicros, 50.0);
+    rp.queueWaitP95Us = pct(point.queueWaitMicros, 95.0);
+    rp.queueWaitP99Us = pct(point.queueWaitMicros, 99.0);
+    rp.serviceP50Us = pct(point.serviceMicros, 50.0);
+    rp.serviceP95Us = pct(point.serviceMicros, 95.0);
+    rp.serviceP99Us = pct(point.serviceMicros, 99.0);
+    rfid::bench::report().addServiceLoadPoint(rp);
+
+    rfid::bench::addResult("rejection_rate_" + label, std::nullopt,
+                           std::nullopt, point.rejectionRate());
+    rfid::bench::addResult("completed_per_sec_" + label, std::nullopt,
+                           std::nullopt, point.completedPerSec());
+  }
+
+  std::cout << table << "\n"
+            << "Open loop: arrivals follow the Poisson schedule regardless "
+               "of service state;\nqueue-full and expired-deadline requests "
+               "are rejected, never queued unboundedly.\n";
+
+  rfid::bench::printFooter();
+  return 0;
+}

@@ -8,8 +8,27 @@
 #   4. microbench_slot, which exits nonzero when the slot hot path performs
 #      any steady-state heap allocation (with or without the metrics
 #      registry attached), and whose BENCH_slot.json must also validate
+#
+# `sh scripts/ci.sh tsan` instead builds the concurrency surface under
+# ThreadSanitizer (-DRFID_SANITIZE=thread) and runs the thread-pool,
+# Monte-Carlo, bounded-queue, inventory-service, and load-generator tests.
 set -eu
 cd "$(dirname "$0")/.."
+
+mode="${1:-default}"
+
+if [ "$mode" = "tsan" ]; then
+  cmake -B build-tsan -S . -DRFID_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-tsan -j "$(nproc 2>/dev/null || echo 4)" \
+    --target test_thread_pool test_montecarlo test_bounded_queue \
+    test_service test_loadgen
+  ctest --test-dir build-tsan --output-on-failure \
+    -j "$(nproc 2>/dev/null || echo 4)" \
+    -R 'ThreadPool|ParallelFor|MonteCarlo|BoundedQueue|InventoryService|Loadgen'
+  echo "ci.sh: tsan green"
+  exit 0
+fi
 
 cmake -B build -S .
 cmake --build build -j "$(nproc 2>/dev/null || echo 4)"
@@ -24,5 +43,11 @@ python3 scripts/validate_report.py "$tmpdir/table07.json"
 # Fails (exit 1) on any steady-state allocation; writes BENCH_slot.json.
 RFID_JSON="$tmpdir/BENCH_slot.json" ./build/bench/microbench_slot
 python3 scripts/validate_report.py "$tmpdir/BENCH_slot.json"
+
+# The service load generator must emit a schema-valid report with the
+# "service" section populated (kept tiny: 20 requests per load point).
+RFID_LOADGEN_REQUESTS=20 RFID_JSON="$tmpdir/loadgen.json" \
+  ./build/bench/loadgen_service
+python3 scripts/validate_report.py "$tmpdir/loadgen.json"
 
 echo "ci.sh: all green"

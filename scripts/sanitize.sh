@@ -3,9 +3,11 @@
 #
 # Two configurations, mirroring what each sanitizer can actually see:
 #   * ASan + UBSan over the full ctest suite (memory errors, UB);
-#   * TSan over the concurrency surface only — the thread pool and the
-#     parallel Monte-Carlo runner — since TSan's runtime is too slow for the
-#     whole matrix and the rest of the library is single-threaded.
+#   * TSan over the concurrency surface only — the thread pool, the
+#     parallel Monte-Carlo runner, and the inventory service (bounded
+#     queue, worker shards, load generator) — since TSan's runtime is too
+#     slow for the whole matrix and the rest of the library is
+#     single-threaded.
 # Builds live in build-asan/ and build-tsan/ so they never disturb the
 # primary build/ tree.
 set -eu
@@ -17,11 +19,12 @@ cmake -B build-asan -S . -DRFID_SANITIZE=address,undefined \
 cmake --build build-asan -j
 ctest --test-dir build-asan --output-on-failure -j"$(nproc)"
 
-echo "=== TSan: thread pool + Monte-Carlo ==="
+echo "=== TSan: thread pool + Monte-Carlo + inventory service ==="
 cmake -B build-tsan -S . -DRFID_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build build-tsan -j --target test_thread_pool test_montecarlo
+cmake --build build-tsan -j --target test_thread_pool test_montecarlo \
+  test_bounded_queue test_service test_loadgen
 ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
-  -R 'ThreadPool|MonteCarlo'
+  -R 'ThreadPool|ParallelFor|MonteCarlo|BoundedQueue|InventoryService|Loadgen'
 
 echo "sanitize: all clean"

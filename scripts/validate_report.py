@@ -86,6 +86,42 @@ def validate(path):
     expect(path, len(results) + len(tables) > 0,
            "report must carry at least one result or table")
 
+    # Optional inventory-service section (bench/loadgen_service).
+    service = doc.get("service")
+    if service is not None:
+        expect(path, isinstance(service, dict), "service must be an object")
+        for key in ("shards", "workers", "queue_capacity"):
+            expect(path, isinstance(service.get(key), int) and
+                   not isinstance(service.get(key), bool),
+                   f"service.{key} must be an integer")
+        points = service.get("load_points")
+        expect(path, isinstance(points, list),
+               "service.load_points must be a list")
+        for p in points:
+            expect(path, isinstance(p, dict) and isinstance(p.get("name"), str),
+                   f"malformed load point: {p!r}")
+            for key in ("submitted", "completed", "rejected_queue_full",
+                        "rejected_deadline"):
+                expect(path, isinstance(p.get(key), int) and
+                       not isinstance(p.get(key), bool),
+                       f"load point {p.get('name')!r}: {key} must be an "
+                       f"integer")
+            for key in ("offered_per_sec", "rejection_rate",
+                        "completed_per_sec"):
+                expect(path, isinstance(p.get(key), (int, float)),
+                       f"load point {p.get('name')!r}: {key} must be a number")
+            for key in ("queue_wait_us", "service_time_us"):
+                q = p.get(key)
+                expect(path, isinstance(q, dict) and
+                       all(isinstance(q.get(pk), (int, float))
+                           for pk in ("p50", "p95", "p99")),
+                       f"load point {p.get('name')!r}: {key} must carry "
+                       f"numeric p50/p95/p99")
+            expect(path,
+                   p["completed"] + p["rejected_queue_full"] +
+                   p["rejected_deadline"] <= p["submitted"],
+                   f"load point {p.get('name')!r}: outcomes exceed submitted")
+
     registry = doc.get("registry")
     expect(path, isinstance(registry, dict), "registry must be an object")
     counters = registry.get("counters")

@@ -124,6 +124,18 @@ void RunReport::addPhase(const std::string& name, double seconds) {
   phases_.push_back(Phase{name, seconds});
 }
 
+void RunReport::setServiceTopology(std::uint64_t shards, std::uint64_t workers,
+                                   std::uint64_t queueCapacity) {
+  serviceTopologySet_ = true;
+  serviceShards_ = shards;
+  serviceWorkers_ = workers;
+  serviceQueueCapacity_ = queueCapacity;
+}
+
+void RunReport::addServiceLoadPoint(ServiceLoadPoint point) {
+  serviceLoadPoints_.push_back(std::move(point));
+}
+
 std::string RunReport::json() const {
   std::ostringstream out;
   out << "{\n";
@@ -182,6 +194,36 @@ std::string RunReport::json() const {
     first = false;
   }
   out << (first ? "" : "\n  ") << "],\n";
+
+  if (serviceTopologySet_ || !serviceLoadPoints_.empty()) {
+    out << "  \"service\": {\n";
+    out << "    \"shards\": " << serviceShards_ << ",\n";
+    out << "    \"workers\": " << serviceWorkers_ << ",\n";
+    out << "    \"queue_capacity\": " << serviceQueueCapacity_ << ",\n";
+    out << "    \"load_points\": [";
+    first = true;
+    for (const ServiceLoadPoint& p : serviceLoadPoints_) {
+      out << (first ? "\n" : ",\n") << "      {\"name\": " << quoted(p.name)
+          << ", \"offered_per_sec\": " << jsonNumber(p.offeredPerSec)
+          << ",\n       \"submitted\": " << p.submitted
+          << ", \"completed\": " << p.completed
+          << ", \"rejected_queue_full\": " << p.rejectedQueueFull
+          << ", \"rejected_deadline\": " << p.rejectedDeadline
+          << ",\n       \"rejection_rate\": " << jsonNumber(p.rejectionRate)
+          << ", \"completed_per_sec\": " << jsonNumber(p.completedPerSec)
+          << ",\n       \"queue_wait_us\": {\"p50\": "
+          << jsonNumber(p.queueWaitP50Us)
+          << ", \"p95\": " << jsonNumber(p.queueWaitP95Us)
+          << ", \"p99\": " << jsonNumber(p.queueWaitP99Us)
+          << "},\n       \"service_time_us\": {\"p50\": "
+          << jsonNumber(p.serviceP50Us)
+          << ", \"p95\": " << jsonNumber(p.serviceP95Us)
+          << ", \"p99\": " << jsonNumber(p.serviceP99Us) << "}}";
+      first = false;
+    }
+    out << (first ? "" : "\n    ") << "]\n";
+    out << "  },\n";
+  }
 
   out << "  \"registry\": {";
   if (registry_ == nullptr || registry_->empty()) {

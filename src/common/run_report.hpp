@@ -14,9 +14,23 @@
 //                     "closed_form": f64|null, "measured": f64|null,
 //                     "ci95": f64|null } ],
 //     "tables":   [ { "title": str, "headers": [str], "rows": [[str]] } ],
+//     "service":  { "shards": u64, "workers": u64, "queue_capacity": u64,
+//                   "load_points": [ { "name": str,
+//                     "offered_per_sec": f64, "submitted": u64,
+//                     "completed": u64, "rejected_queue_full": u64,
+//                     "rejected_deadline": u64, "rejection_rate": f64,
+//                     "completed_per_sec": f64,
+//                     "queue_wait_us": {"p50": f64, "p95": f64, "p99": f64},
+//                     "service_time_us": {"p50": f64, "p95": f64,
+//                                         "p99": f64} } ] },   // optional
 //     "registry": { "counters": {str: u64}, "gauges": {str: f64},
 //                   "histograms": {str: {"bounds": [f64], "counts": [u64]}} }
 //   }
+//
+// The "service" section appears only in reports produced by the inventory
+// census service's load generator (bench/loadgen_service); all other
+// benches omit it, and scripts/validate_report.py validates it when
+// present.
 //
 // `results` carries the paper/closed-form/measured triples the benches
 // already print; `tables` captures the rendered comparison tables verbatim
@@ -32,6 +46,21 @@
 namespace rfid::common {
 
 class MetricsRegistry;
+
+/// One offered-load point of a service sweep (see the "service" section of
+/// the schema above); latency quantiles are microseconds.
+struct ServiceLoadPoint {
+  std::string name;
+  double offeredPerSec = 0.0;
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejectedQueueFull = 0;
+  std::uint64_t rejectedDeadline = 0;
+  double rejectionRate = 0.0;
+  double completedPerSec = 0.0;
+  double queueWaitP50Us = 0.0, queueWaitP95Us = 0.0, queueWaitP99Us = 0.0;
+  double serviceP50Us = 0.0, serviceP95Us = 0.0, serviceP99Us = 0.0;
+};
 
 class RunReport {
  public:
@@ -65,6 +94,13 @@ class RunReport {
   void attachRegistry(const MetricsRegistry* registry) {
     registry_ = registry;
   }
+  /// Arms the optional "service" section (inventory-service topology).
+  void setServiceTopology(std::uint64_t shards, std::uint64_t workers,
+                          std::uint64_t queueCapacity);
+  /// Appends one offered-load point; implies setServiceTopology was (or
+  /// will be) called before json().
+  void addServiceLoadPoint(ServiceLoadPoint point);
+  bool hasServiceSection() const noexcept { return serviceTopologySet_; }
 
   std::size_t resultCount() const noexcept { return results_.size(); }
   std::size_t tableCount() const noexcept { return tables_.size(); }
@@ -99,6 +135,11 @@ class RunReport {
   std::vector<Phase> phases_;
   std::vector<Result> results_;
   std::vector<Table> tables_;
+  bool serviceTopologySet_ = false;
+  std::uint64_t serviceShards_ = 0;
+  std::uint64_t serviceWorkers_ = 0;
+  std::uint64_t serviceQueueCapacity_ = 0;
+  std::vector<ServiceLoadPoint> serviceLoadPoints_;
   const MetricsRegistry* registry_ = nullptr;
 };
 

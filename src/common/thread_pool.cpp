@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <memory>
 
 namespace rfid::common {
 
@@ -42,6 +43,11 @@ void ThreadPool::workerLoop() {
   }
 }
 
+ThreadPool& sharedPool() {
+  static ThreadPool pool(0);
+  return pool;
+}
+
 void parallelFor(std::size_t begin, std::size_t end,
                  const std::function<void(std::size_t)>& fn,
                  unsigned threads) {
@@ -56,31 +62,73 @@ void parallelFor(std::size_t begin, std::size_t end,
     return;
   }
 
-  std::atomic<std::size_t> next{begin};
-  std::mutex errMutex;
-  std::exception_ptr error;
-  auto body = [&] {
+  // Shared loop state, heap-owned so a helper task that starts only after
+  // the call returned (its pool slot was busy the whole time) still finds
+  // valid memory. Such a late helper can never reach fn: every index is
+  // already claimed (or the loop cancelled), so its first claim fails and
+  // it exits having touched only this state.
+  struct LoopState {
+    std::atomic<std::size_t> next;
+    std::size_t end;
+    std::atomic<bool> cancelled{false};
+    const std::function<void(std::size_t)>* fn;
+    std::mutex mutex;
+    std::condition_variable cv;
+    unsigned active = 0;  ///< helpers currently inside the claim loop
+    std::exception_ptr error;
+  };
+  auto state = std::make_shared<LoopState>();
+  state->next.store(begin, std::memory_order_relaxed);
+  state->end = end;
+  state->fn = &fn;
+
+  auto claimLoop = [](LoopState& s) {
     for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= end) return;
+      if (s.cancelled.load(std::memory_order_relaxed)) return;
+      const std::size_t i = s.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= s.end) return;
       try {
-        fn(i);
+        (*s.fn)(i);
       } catch (...) {
-        std::lock_guard lock(errMutex);
-        if (!error) error = std::current_exception();
+        // First failure wins and stops further claims promptly; fn calls
+        // already in flight complete.
+        s.cancelled.store(true, std::memory_order_relaxed);
+        std::lock_guard lock(s.mutex);
+        if (!s.error) s.error = std::current_exception();
         return;
       }
     }
   };
 
-  std::vector<std::thread> pool;
-  pool.reserve(workers - 1);
-  for (unsigned t = 0; t + 1 < workers; ++t) {
-    pool.emplace_back(body);
+  // Helpers run on the shared pool; the caller participates too, so the
+  // loop completes even when every pool worker is occupied (including the
+  // nested case where the caller itself *is* a pool worker). The caller
+  // never blocks on a queued task — it waits only for helpers that
+  // actually entered the loop — which is what makes nesting deadlock-free.
+  ThreadPool& pool = sharedPool();
+  const unsigned helpers = std::min(workers - 1, pool.threadCount());
+  for (unsigned t = 0; t < helpers; ++t) {
+    (void)pool.submit([state, claimLoop] {
+      {
+        std::lock_guard lock(state->mutex);
+        ++state->active;
+      }
+      claimLoop(*state);
+      {
+        std::lock_guard lock(state->mutex);
+        --state->active;
+      }
+      state->cv.notify_all();
+    });
   }
-  body();
-  for (std::thread& t : pool) t.join();
-  if (error) std::rethrow_exception(error);
+  claimLoop(*state);
+  std::unique_lock lock(state->mutex);
+  state->cv.wait(lock, [&] { return state->active == 0; });
+  if (state->error) {
+    std::exception_ptr error = state->error;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 }  // namespace rfid::common

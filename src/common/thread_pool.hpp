@@ -57,9 +57,22 @@ class ThreadPool {
   bool stop_ = false;
 };
 
+/// Process-wide lazily-initialized pool (hardware-concurrency workers)
+/// backing parallelFor. Constructed on first use; repeated Monte-Carlo
+/// sweeps therefore stop paying per-call thread spawn/join. Long-lived
+/// subsystems that need dedicated workers (e.g. service::InventoryService)
+/// own their own ThreadPool instead of borrowing this one.
+ThreadPool& sharedPool();
+
 /// Runs fn(i) for i in [begin, end) across up to `threads` workers
 /// (0 = hardware concurrency). fn must be safe to call concurrently for
-/// distinct i. Exceptions from fn propagate to the caller.
+/// distinct i. Exceptions from fn propagate to the caller; after the first
+/// failure no further indices are claimed (in-flight fn(i) calls complete).
+///
+/// Helper workers come from sharedPool(); the calling thread always
+/// participates, so a call can finish even when every pool worker is busy
+/// (nested or concurrent parallelFor calls cannot deadlock). Results are
+/// written by index, making parallel and serial execution bit-identical.
 void parallelFor(std::size_t begin, std::size_t end,
                  const std::function<void(std::size_t)>& fn,
                  unsigned threads = 0);

@@ -1,0 +1,93 @@
+// Bounded MPMC queue: the admission-control primitive of the inventory
+// census service.
+//
+// Push never blocks — a full queue is an immediate kFull so the service can
+// reject instead of building unbounded backlog (open-loop clients keep
+// arriving whether or not we are keeping up). Pop blocks until an item,
+// close(), or both; after close() producers are refused but consumers drain
+// whatever was already accepted, which is what makes service shutdown
+// graceful. Coarse mutex + condition variable: items are whole census
+// requests (milliseconds of work each), so queue contention is noise.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace rfid::service {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  enum class PushResult { kOk, kFull, kClosed };
+
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Non-blocking; on kFull/kClosed the value is left untouched so the
+  /// caller can still complete it with a rejection.
+  PushResult tryPush(T&& value) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_) return PushResult::kClosed;
+      if (items_.size() >= capacity_) return PushResult::kFull;
+      items_.push_back(std::move(value));
+    }
+    cv_.notify_one();
+    return PushResult::kOk;
+  }
+
+  /// Blocks until an item is available or the queue is closed and drained
+  /// (then returns nullopt — the consumer's signal to exit).
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    std::optional<T> out(std::move(items_.front()));
+    items_.pop_front();
+    return out;
+  }
+
+  /// Non-blocking pop (tests and drain paths).
+  std::optional<T> tryPop() {
+    std::lock_guard lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    std::optional<T> out(std::move(items_.front()));
+    items_.pop_front();
+    return out;
+  }
+
+  /// Refuses further pushes and wakes every blocked consumer; already
+  /// queued items remain poppable.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+  std::size_t capacity() const noexcept { return capacity_; }
+  bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace rfid::service

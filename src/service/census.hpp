@@ -1,0 +1,84 @@
+// Census request/response types shared by the inventory service, its load
+// generator, and standalone replay.
+//
+// Determinism contract: a request's simulation consumes only
+// censusStreamSeed(serviceSeed, requestId, request.seed) — never wall-clock,
+// queue position, or worker identity — so the same (serviceSeed, requestId,
+// request) is bit-identical whether it ran through a service at any worker
+// count or was replayed in isolation via runStandalone(). Deadlines and
+// admission affect only *whether* a request runs, not what it computes.
+#pragma once
+
+#include <cstdint>
+
+#include "anticollision/experiment.hpp"
+#include "common/rng.hpp"
+
+namespace rfid::service {
+
+/// One inventory census job: population spec + protocol + detection scheme,
+/// Monte-Carlo rounds, a client seed folded into the stream derivation, and
+/// a relative deadline.
+struct CensusRequest {
+  anticollision::ProtocolKind protocol = anticollision::ProtocolKind::kFsa;
+  anticollision::SchemeKind scheme = anticollision::SchemeKind::kQcd;
+  unsigned qcdStrength = 8;
+  std::size_t tagCount = 50;
+  std::size_t frameSize = 30;
+  std::size_t rounds = 1;
+  /// Client-chosen seed; folded into the service-derived stream so two
+  /// clients with the same population spec can still get distinct censuses.
+  std::uint64_t seed = 0;
+  /// Deadline relative to submit time, in microseconds; a request still
+  /// queued when it expires is rejected without burning a worker. 0 = none.
+  double deadlineMicros = 0.0;
+};
+
+enum class CensusOutcome {
+  kCompleted,
+  kRejectedQueueFull,          ///< refused at submit (admission control)
+  kRejectedDeadlineExceeded,   ///< expired while queued
+  kRejectedShutdown,           ///< submitted after close()
+};
+
+/// True for any of the kRejected* outcomes.
+constexpr bool isRejected(CensusOutcome o) noexcept {
+  return o != CensusOutcome::kCompleted;
+}
+
+struct CensusResponse {
+  CensusOutcome outcome = CensusOutcome::kRejectedShutdown;
+  std::uint64_t requestId = 0;
+  /// The derived seed the census consumed; replay with runStandalone.
+  std::uint64_t streamSeed = 0;
+  /// Aggregated census metrics; meaningful only when outcome == kCompleted.
+  anticollision::AggregateResult result;
+  /// Submit → dequeue (rejections at submit report 0; deadline rejections
+  /// report the time spent queued before expiry was noticed).
+  double queueWaitMicros = 0.0;
+  /// Dequeue → completion; 0 unless the census actually ran.
+  double serviceMicros = 0.0;
+};
+
+/// The per-request RNG stream: Rng::forStream(serviceSeed, requestId) names
+/// the request's stream, its first draw is the simulation seed, and the
+/// client seed is XOR-folded in so it perturbs every round.
+inline std::uint64_t censusStreamSeed(std::uint64_t serviceSeed,
+                                      std::uint64_t requestId,
+                                      std::uint64_t clientSeed) noexcept {
+  common::Rng stream = common::Rng::forStream(serviceSeed, requestId);
+  return stream() ^ clientSeed;
+}
+
+/// The ExperimentConfig a census request maps to. Rounds inside one request
+/// run serially (requests, not rounds, are the service's parallelism unit).
+anticollision::ExperimentConfig censusConfig(const CensusRequest& request,
+                                             std::uint64_t streamSeed);
+
+/// Replays a request outside any service: same stream derivation, same
+/// engine, bit-identical AggregateResult. queueWait/service times are 0.
+CensusResponse runStandalone(const CensusRequest& request,
+                             std::uint64_t serviceSeed,
+                             std::uint64_t requestId);
+
+}  // namespace rfid::service

@@ -1,0 +1,110 @@
+#include "service/loadgen.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <utility>
+
+#include "common/require.hpp"
+#include "service/inventory_service.hpp"
+
+namespace rfid::service {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}
+
+std::vector<double> poissonArrivalsSeconds(std::size_t count,
+                                           double ratePerSec,
+                                           common::Rng& rng) {
+  RFID_REQUIRE(ratePerSec > 0.0, "arrival rate must be positive");
+  std::vector<double> arrivals;
+  arrivals.reserve(count);
+  double t = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    // Inverse-CDF exponential draw; real() < 1 keeps the log finite.
+    t += -std::log(1.0 - rng.real()) / ratePerSec;
+    arrivals.push_back(t);
+  }
+  return arrivals;
+}
+
+LoadPointResult runOpenLoop(InventoryService& service,
+                            const CensusRequest& prototype, std::size_t count,
+                            double ratePerSec, std::uint64_t arrivalSeed) {
+  common::Rng arrivalRng = common::Rng::forStream(arrivalSeed, 0);
+  const std::vector<double> arrivals =
+      poissonArrivalsSeconds(count, ratePerSec, arrivalRng);
+
+  struct Pending {
+    std::future<CensusResponse> future;
+    Clock::time_point submitted;
+  };
+  std::vector<Pending> pending;
+  pending.reserve(count);
+
+  LoadPointResult point;
+  point.offeredRatePerSec = ratePerSec;
+  point.submitted = count;
+  point.queueWaitMicros.reserve(count);
+  point.serviceMicros.reserve(count);
+  point.sojournMicros.reserve(count);
+
+  const Clock::time_point t0 = Clock::now();
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto due =
+        t0 + std::chrono::duration_cast<Clock::duration>(
+                 std::chrono::duration<double>(arrivals[i]));
+    std::this_thread::sleep_until(due);
+    CensusRequest request = prototype;
+    request.seed = prototype.seed + i;
+    pending.push_back(Pending{service.submit(request), Clock::now()});
+  }
+
+  for (Pending& p : pending) {
+    const CensusResponse response = p.future.get();
+    switch (response.outcome) {
+      case CensusOutcome::kCompleted: {
+        ++point.completed;
+        point.queueWaitMicros.add(response.queueWaitMicros);
+        point.serviceMicros.add(response.serviceMicros);
+        point.sojournMicros.add(response.queueWaitMicros +
+                                response.serviceMicros);
+        break;
+      }
+      case CensusOutcome::kRejectedQueueFull:
+        ++point.rejectedQueueFull;
+        break;
+      case CensusOutcome::kRejectedDeadlineExceeded:
+        ++point.rejectedDeadline;
+        break;
+      case CensusOutcome::kRejectedShutdown:
+        // The loadgen never races shutdown; counted as queue-full-ish drop.
+        ++point.rejectedQueueFull;
+        break;
+    }
+  }
+  point.wallSeconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  return point;
+}
+
+double measuredCapacityPerSec(const CensusRequest& prototype,
+                              std::uint64_t serviceSeed, std::size_t probes,
+                              unsigned workers) {
+  RFID_REQUIRE(probes >= 1, "capacity measurement needs at least one probe");
+  RFID_REQUIRE(workers >= 1, "capacity measurement needs at least one worker");
+  const Clock::time_point start = Clock::now();
+  for (std::size_t i = 0; i < probes; ++i) {
+    CensusRequest request = prototype;
+    request.seed = prototype.seed + i;
+    (void)runStandalone(request, serviceSeed, i);
+  }
+  const double meanSeconds =
+      std::chrono::duration<double>(Clock::now() - start).count() /
+      static_cast<double>(probes);
+  RFID_REQUIRE(meanSeconds > 0.0, "capacity probe measured zero time");
+  return static_cast<double>(workers) / meanSeconds;
+}
+
+}  // namespace rfid::service

@@ -1,0 +1,76 @@
+// Open-loop load generation against an InventoryService.
+//
+// Open-loop means arrivals follow a fixed schedule regardless of how the
+// service is coping — exactly the regime where bounded queues and deadline
+// rejection matter (a closed-loop client would self-throttle and mask the
+// overload). The arrival schedule itself is a deterministic Poisson
+// process: inter-arrival gaps are Exp(rate) draws from an explicit Rng, so
+// the same (seed, rate, count) always produces the same offered trace even
+// though completion timing varies with the host.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "service/census.hpp"
+
+namespace rfid::service {
+
+class InventoryService;
+
+/// Absolute arrival offsets (seconds from t0) of a Poisson process with the
+/// given rate: cumulative sums of Exp(ratePerSec) inter-arrival gaps.
+std::vector<double> poissonArrivalsSeconds(std::size_t count,
+                                           double ratePerSec, common::Rng& rng);
+
+/// Outcome of driving one offered-load point.
+struct LoadPointResult {
+  double offeredRatePerSec = 0.0;
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejectedQueueFull = 0;
+  std::uint64_t rejectedDeadline = 0;
+  double wallSeconds = 0.0;
+  /// Latencies of completed requests only (microseconds).
+  common::SampleSet queueWaitMicros;
+  common::SampleSet serviceMicros;
+  /// Submit → resolve for completed requests (queue wait + service).
+  common::SampleSet sojournMicros;
+
+  std::uint64_t rejected() const noexcept {
+    return rejectedQueueFull + rejectedDeadline;
+  }
+  double rejectionRate() const noexcept {
+    return submitted > 0
+               ? static_cast<double>(rejected()) / static_cast<double>(submitted)
+               : 0.0;
+  }
+  double completedPerSec() const noexcept {
+    return wallSeconds > 0.0
+               ? static_cast<double>(completed) / wallSeconds
+               : 0.0;
+  }
+};
+
+/// Submits `count` copies of `prototype` to `service` following a
+/// deterministic Poisson schedule at `ratePerSec` (arrival seed
+/// `arrivalSeed`), sleeping between arrivals and never waiting for
+/// completions (open loop). Blocks until every submitted request resolved,
+/// then returns the aggregated point. Each submission perturbs
+/// prototype.seed by its arrival index so requests stay distinct even under
+/// one service seed.
+LoadPointResult runOpenLoop(InventoryService& service,
+                            const CensusRequest& prototype, std::size_t count,
+                            double ratePerSec, std::uint64_t arrivalSeed);
+
+/// Measured service capacity: runs `probes` standalone censuses of
+/// `prototype` back-to-back and returns workers / meanServiceSeconds — the
+/// saturation throughput a pool of `workers` could sustain if queueing were
+/// free. The offered-load sweep anchors its 0.5×–2× multipliers here.
+double measuredCapacityPerSec(const CensusRequest& prototype,
+                              std::uint64_t serviceSeed, std::size_t probes,
+                              unsigned workers);
+
+}  // namespace rfid::service

@@ -1,0 +1,125 @@
+// BoundedQueue: admission bound, close semantics, MPMC integrity.
+#include "service/bounded_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using rfid::service::BoundedQueue;
+using PushResult = rfid::service::BoundedQueue<int>::PushResult;
+
+TEST(BoundedQueue, PushPopRoundTrip) {
+  BoundedQueue<int> q(4);
+  EXPECT_EQ(q.capacity(), 4u);
+  EXPECT_EQ(q.tryPush(7), PushResult::kOk);
+  EXPECT_EQ(q.size(), 1u);
+  const auto v = q.pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 7);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedQueue, RejectsWhenFull) {
+  BoundedQueue<int> q(2);
+  EXPECT_EQ(q.tryPush(1), PushResult::kOk);
+  EXPECT_EQ(q.tryPush(2), PushResult::kOk);
+  EXPECT_EQ(q.tryPush(3), PushResult::kFull);
+  EXPECT_EQ(q.size(), 2u);  // the rejected push left no trace
+  ASSERT_TRUE(q.pop().has_value());
+  EXPECT_EQ(q.tryPush(3), PushResult::kOk);
+}
+
+TEST(BoundedQueue, FullRejectionLeavesValueIntact) {
+  BoundedQueue<std::vector<int>> q(1);
+  std::vector<int> first{1, 2, 3};
+  ASSERT_EQ(q.tryPush(std::move(first)), decltype(q)::PushResult::kOk);
+  std::vector<int> second{4, 5, 6};
+  ASSERT_EQ(q.tryPush(std::move(second)), decltype(q)::PushResult::kFull);
+  EXPECT_EQ(second, (std::vector<int>{4, 5, 6}));  // not moved-from
+}
+
+TEST(BoundedQueue, CloseRefusesPushesButDrainsItems) {
+  BoundedQueue<int> q(4);
+  EXPECT_EQ(q.tryPush(1), PushResult::kOk);
+  EXPECT_EQ(q.tryPush(2), PushResult::kOk);
+  q.close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_EQ(q.tryPush(3), PushResult::kClosed);
+  EXPECT_EQ(q.pop().value_or(-1), 1);  // queued items remain poppable
+  EXPECT_EQ(q.pop().value_or(-1), 2);
+  EXPECT_FALSE(q.pop().has_value());  // closed + drained → consumer exits
+}
+
+TEST(BoundedQueue, PopBlocksUntilPushOrClose) {
+  BoundedQueue<int> q(2);
+  std::atomic<int> got{-1};
+  std::thread consumer([&] {
+    const auto v = q.pop();
+    got.store(v.value_or(-2));
+  });
+  // Give the consumer a moment to block, then feed it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(q.tryPush(42), PushResult::kOk);
+  consumer.join();
+  EXPECT_EQ(got.load(), 42);
+
+  std::thread waiter([&] { got.store(q.pop().value_or(-3)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  waiter.join();
+  EXPECT_EQ(got.load(), -3);  // close wakes a blocked consumer
+}
+
+TEST(BoundedQueue, TryPopIsNonBlocking) {
+  BoundedQueue<int> q(2);
+  EXPECT_FALSE(q.tryPop().has_value());
+  EXPECT_EQ(q.tryPush(5), PushResult::kOk);
+  EXPECT_EQ(q.tryPop().value_or(-1), 5);
+}
+
+TEST(BoundedQueue, MpmcDeliversEveryAcceptedItemExactlyOnce) {
+  constexpr int kProducers = 3;
+  constexpr int kPerProducer = 200;
+  BoundedQueue<int> q(8);
+  std::atomic<int> acceptedCount{0};
+  std::atomic<long long> consumedSum{0};
+  std::atomic<long long> acceptedSum{0};
+  std::atomic<int> consumedCount{0};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 2; ++c) {
+    consumers.emplace_back([&] {
+      while (auto v = q.pop()) {
+        consumedSum += *v;
+        ++consumedCount;
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const int value = p * kPerProducer + i;
+        if (q.tryPush(int{value}) == PushResult::kOk) {
+          ++acceptedCount;
+          acceptedSum += value;
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+
+  // Whatever admission accepted is delivered exactly once — sums match.
+  EXPECT_EQ(consumedCount.load(), acceptedCount.load());
+  EXPECT_EQ(consumedSum.load(), acceptedSum.load());
+  EXPECT_GT(acceptedCount.load(), 0);
+}
+
+}  // namespace

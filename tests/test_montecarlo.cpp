@@ -118,6 +118,35 @@ TEST(MonteCarlo, StatsDoNotPerturbResults) {
   }
 }
 
+TEST(MonteCarlo, StatsAccumulateAcrossThreadCounts) {
+  // Parallel execution must not perturb the accumulated stats: the slot
+  // total is defined by the rounds (thread-count independent), every round
+  // contributes exactly one duration sample, and wall-clock only grows.
+  rfid::sim::MonteCarloStats serialStats;
+  const auto serial = runMonteCarlo(12, 99, fakeRound, 1, &serialStats);
+
+  rfid::sim::MonteCarloStats stats;
+  const auto parallel = runMonteCarlo(12, 99, fakeRound, 4, &stats);
+  EXPECT_EQ(stats.calls, 1u);
+  EXPECT_EQ(stats.roundSeconds.count(), 12u);
+  EXPECT_EQ(stats.totalSlots, serialStats.totalSlots);
+  EXPECT_GT(stats.wallSeconds, 0.0);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].detectedCensus().total(),
+              parallel[i].detectedCensus().total());
+  }
+
+  // Wall-clock is monotone across further accumulating calls, and each
+  // call keeps adding one sample per round.
+  const double wallAfterFirst = stats.wallSeconds;
+  const std::uint64_t slotsAfterFirst = stats.totalSlots;
+  (void)runMonteCarlo(5, 123, fakeRound, 3, &stats);
+  EXPECT_EQ(stats.calls, 2u);
+  EXPECT_EQ(stats.roundSeconds.count(), 17u);
+  EXPECT_GT(stats.wallSeconds, wallAfterFirst);
+  EXPECT_GT(stats.totalSlots, slotsAfterFirst);
+}
+
 TEST(MonteCarlo, GoldenValuesPinStreamDerivation) {
   // Hard-coded per-round censuses for seed 20100913 under the documented
   // forStream recipe (splitmix64 over the mixed seed plus the stream index).

@@ -145,6 +145,53 @@ TEST(RunReport, GoldenFullReport) {
       "}\n");
 }
 
+TEST(RunReport, GoldenServiceSection) {
+  // The optional "service" section is pinned byte-for-byte like the rest
+  // of the schema; reports without topology/load points must omit it
+  // entirely (GoldenEmptyReport above covers that side).
+  RunReport r("svc", "");
+  r.setServiceTopology(2, 4, 32);
+  rfid::common::ServiceLoadPoint p;
+  p.name = "1.0x";
+  p.offeredPerSec = 50.0;
+  p.submitted = 100;
+  p.completed = 90;
+  p.rejectedQueueFull = 8;
+  p.rejectedDeadline = 2;
+  p.rejectionRate = 0.1;
+  p.completedPerSec = 45.5;
+  p.queueWaitP50Us = 120.0;
+  p.queueWaitP95Us = 800.0;
+  p.queueWaitP99Us = 1500.0;
+  p.serviceP50Us = 2000.0;
+  p.serviceP95Us = 2500.0;
+  p.serviceP99Us = 3000.0;
+  r.addServiceLoadPoint(p);
+  EXPECT_TRUE(r.hasServiceSection());
+
+  const std::string json = r.json();
+  const std::string expected =
+      "  \"service\": {\n"
+      "    \"shards\": 2,\n"
+      "    \"workers\": 4,\n"
+      "    \"queue_capacity\": 32,\n"
+      "    \"load_points\": [\n"
+      "      {\"name\": \"1.0x\", \"offered_per_sec\": 50,\n"
+      "       \"submitted\": 100, \"completed\": 90, "
+      "\"rejected_queue_full\": 8, \"rejected_deadline\": 2,\n"
+      "       \"rejection_rate\": 0.1, \"completed_per_sec\": 45.5,\n"
+      "       \"queue_wait_us\": {\"p50\": 120, \"p95\": 800, "
+      "\"p99\": 1500},\n"
+      "       \"service_time_us\": {\"p50\": 2000, \"p95\": 2500, "
+      "\"p99\": 3000}}\n"
+      "    ]\n"
+      "  },\n";
+  EXPECT_NE(json.find(expected), std::string::npos) << json;
+  // Placement: after "tables", before "registry".
+  EXPECT_LT(json.find("\"tables\""), json.find("\"service\""));
+  EXPECT_LT(json.find("\"service\""), json.find("\"registry\""));
+}
+
 TEST(RunReport, DetachedRegistrySerializesEmpty) {
   RunReport r("b", "p");
   MetricsRegistry reg;

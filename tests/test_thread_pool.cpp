@@ -5,8 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <mutex>
 #include <numeric>
+#include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace {
@@ -99,6 +103,79 @@ TEST(ParallelFor, OffsetRange) {
   std::atomic<std::size_t> sum{0};
   parallelFor(10, 20, [&](std::size_t i) { sum += i; }, 3);
   EXPECT_EQ(sum.load(), std::size_t{145});  // 10 + 11 + … + 19
+}
+
+TEST(ParallelFor, SharedPoolIsAProcessWideSingleton) {
+  EXPECT_EQ(&rfid::common::sharedPool(), &rfid::common::sharedPool());
+  EXPECT_GE(rfid::common::sharedPool().threadCount(), 1u);
+}
+
+TEST(ParallelFor, ReusesSharedPoolWorkersAcrossCalls) {
+  // Every helper runs on the shared pool, so across many invocations the
+  // set of distinct worker threads is bounded by pool size + caller — the
+  // pre-pool implementation spawned fresh threads per call and would keep
+  // growing this set.
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  for (int call = 0; call < 8; ++call) {
+    parallelFor(
+        0, 64,
+        [&](std::size_t) {
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+          std::lock_guard lock(mu);
+          ids.insert(std::this_thread::get_id());
+        },
+        4);
+  }
+  EXPECT_LE(ids.size(), rfid::common::sharedPool().threadCount() + 1);
+}
+
+TEST(ParallelFor, RepeatedPooledCallsMatchSerialExactly) {
+  // Existing-vs-new equality pin: the pooled implementation must produce
+  // the same per-index results as a plain serial loop, call after call.
+  constexpr std::size_t kN = 256;
+  auto work = [](std::size_t i) {
+    return static_cast<double>(i * i) / 3.0 + static_cast<double>(i);
+  };
+  std::vector<double> serial(kN);
+  for (std::size_t i = 0; i < kN; ++i) serial[i] = work(i);
+  for (int call = 0; call < 4; ++call) {
+    std::vector<double> pooled(kN);
+    parallelFor(0, kN, [&](std::size_t i) { pooled[i] = work(i); }, 8);
+    EXPECT_EQ(pooled, serial);
+  }
+}
+
+TEST(ParallelFor, FirstFailureStopsFurtherWork) {
+  // After one fn(i) throws, no new indices may be claimed (in-flight calls
+  // complete). The thrower fires immediately while every other index
+  // sleeps, so without cancellation nearly all 2000 indices would run.
+  constexpr std::size_t kN = 2000;
+  std::atomic<std::size_t> executed{0};
+  EXPECT_THROW(
+      parallelFor(
+          0, kN,
+          [&](std::size_t i) {
+            if (i == 0) throw std::runtime_error("first index fails");
+            std::this_thread::sleep_for(std::chrono::microseconds(500));
+            ++executed;
+          },
+          4),
+      std::runtime_error);
+  EXPECT_LT(executed.load(), kN / 2);
+}
+
+TEST(ParallelFor, NestedCallsComplete) {
+  // A parallelFor body that itself calls parallelFor must not deadlock on
+  // the shared pool (the caller always participates in its own loop).
+  std::atomic<std::size_t> sum{0};
+  parallelFor(
+      0, 4,
+      [&](std::size_t) {
+        parallelFor(0, 8, [&](std::size_t j) { sum += j; }, 2);
+      },
+      4);
+  EXPECT_EQ(sum.load(), std::size_t{4 * 28});
 }
 
 }  // namespace
