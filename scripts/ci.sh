@@ -12,10 +12,19 @@
 # `sh scripts/ci.sh tsan` instead builds the concurrency surface under
 # ThreadSanitizer (-DRFID_SANITIZE=thread) and runs the thread-pool,
 # Monte-Carlo, bounded-queue, inventory-service, and load-generator tests.
+#
+# `sh scripts/ci.sh lint` runs the static-analysis gate (clang-tidy with
+# the checked-in .clang-tidy, scripts/check_invariants.py, and the
+# clang-format drift check) — see scripts/lint.sh.
 set -eu
 cd "$(dirname "$0")/.."
 
 mode="${1:-default}"
+
+if [ "$mode" = "lint" ]; then
+  sh scripts/lint.sh
+  exit 0
+fi
 
 if [ "$mode" = "tsan" ]; then
   cmake -B build-tsan -S . -DRFID_SANITIZE=thread \
@@ -30,7 +39,7 @@ if [ "$mode" = "tsan" ]; then
   exit 0
 fi
 
-cmake -B build -S .
+cmake -B build -S . -DRFID_WERROR=ON
 cmake --build build -j "$(nproc 2>/dev/null || echo 4)"
 ctest --test-dir build --output-on-failure -j "$(nproc 2>/dev/null || echo 4)"
 

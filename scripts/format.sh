@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# clang-format over every tracked C++ source, using the checked-in
+# .clang-format.  Default mode rewrites in place; `--check` is a dry run
+# (-Werror) that exits nonzero on any drift — that is what the lint CI
+# job runs.  Skips with a notice when clang-format is not installed.
+set -eu
+cd "$(dirname "$0")/.."
+
+mode="${1:-fix}"
+
+FMT=""
+for candidate in clang-format clang-format-19 clang-format-18 \
+                 clang-format-17 clang-format-16 clang-format-15 \
+                 clang-format-14; do
+  if command -v "$candidate" >/dev/null 2>&1; then
+    FMT="$candidate"
+    break
+  fi
+done
+if [ -z "$FMT" ]; then
+  echo "format.sh: SKIP (clang-format not found; apt install clang-format)" >&2
+  exit 0
+fi
+
+files=$(git ls-files '*.cpp' '*.hpp' '*.h' '*.cc')
+
+if [ "$mode" = "--check" ]; then
+  printf '%s\n' $files | xargs "$FMT" --dry-run -Werror
+  echo "format.sh: no drift"
+else
+  printf '%s\n' $files | xargs "$FMT" -i
+  echo "format.sh: reformatted in place"
+fi

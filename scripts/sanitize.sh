@@ -2,7 +2,10 @@
 # Sanitizer sweep over the tier-1 suite.
 #
 # Two configurations, mirroring what each sanitizer can actually see:
-#   * ASan + UBSan over the full ctest suite (memory errors, UB);
+#   * ASan + UBSan over the full ctest suite (memory errors, UB).
+#     UBSan runs with -fno-sanitize-recover=undefined (wired in the
+#     top-level CMakeLists when RFID_SANITIZE contains "undefined"), so
+#     any UB aborts the test instead of printing and passing green;
 #   * TSan over the concurrency surface only — the thread pool, the
 #     parallel Monte-Carlo runner, and the inventory service (bounded
 #     queue, worker shards, load generator) — since TSan's runtime is too

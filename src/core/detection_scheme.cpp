@@ -45,6 +45,7 @@ BitVec CrcCdScheme::contentionSignal(const tags::Tag& tag,
   return out;
 }
 
+// rfid:hot begin
 void CrcCdScheme::contentionSignalInto(const tags::Tag& tag,
                                        common::Rng& /*tagRng*/,
                                        BitVec& out) const {
@@ -53,6 +54,7 @@ void CrcCdScheme::contentionSignalInto(const tags::Tag& tag,
   out = tag.id;
   out.appendUint(engine_.computeBits(tag.id), engine_.spec().width);
 }
+// rfid:hot end
 
 SlotType CrcCdScheme::classify(const std::optional<BitVec>& signal,
                                std::size_t /*trueResponders*/) const {
@@ -101,6 +103,7 @@ BitVec QcdScheme::contentionSignal(const tags::Tag& tag,
   return out;
 }
 
+// rfid:hot begin
 void QcdScheme::contentionSignalInto(const tags::Tag& /*tag*/,
                                      common::Rng& tagRng, BitVec& out) const {
   preamble_.encodeInto(preamble_.draw(tagRng), out);
@@ -115,6 +118,7 @@ SlotType QcdScheme::classify(const std::optional<BitVec>& signal,
              ? SlotType::kSingle
              : SlotType::kCollided;
 }
+// rfid:hot end
 
 SlotTiming QcdScheme::timing() const {
   const double prm = static_cast<double>(preamble_.bits());
@@ -152,6 +156,7 @@ BitVec CrcPreambleScheme::contentionSignal(const tags::Tag& tag,
   return out;
 }
 
+// rfid:hot begin
 void CrcPreambleScheme::contentionSignalInto(const tags::Tag& /*tag*/,
                                              common::Rng& tagRng,
                                              BitVec& out) const {
@@ -159,6 +164,7 @@ void CrcPreambleScheme::contentionSignalInto(const tags::Tag& /*tag*/,
   out.assignUint(tagRng.between(1, maxR_), randomBits_);
   out.appendUint(engine_.computeBits(out), engine_.spec().width);
 }
+// rfid:hot end
 
 SlotType CrcPreambleScheme::classify(const std::optional<BitVec>& signal,
                                      std::size_t /*trueResponders*/) const {
@@ -191,11 +197,13 @@ BitVec IdealScheme::contentionSignal(const tags::Tag& tag,
   return tag.id;
 }
 
+// rfid:hot begin
 void IdealScheme::contentionSignalInto(const tags::Tag& tag,
                                        common::Rng& /*tagRng*/,
                                        BitVec& out) const {
   out = tag.id;
 }
+// rfid:hot end
 
 SlotType IdealScheme::classify(const std::optional<BitVec>& /*signal*/,
                                std::size_t trueResponders) const {

@@ -26,6 +26,7 @@ BitVec QcdPreamble::encode(std::uint64_t r) const {
   return out;
 }
 
+// rfid:hot begin
 void QcdPreamble::encodeInto(std::uint64_t r, BitVec& out) const {
   RFID_REQUIRE(r >= 1 && r <= maxR_, "r must be a positive l-bit integer");
   // f(r) = ~r restricted to l bits is r ^ maxR_; the whole preamble is one
@@ -33,7 +34,9 @@ void QcdPreamble::encodeInto(std::uint64_t r, BitVec& out) const {
   out.assignUint(r, strength_);
   out.appendUint(r ^ maxR_, strength_);
 }
+// rfid:hot end
 
+// rfid:hot begin
 QcdPreamble::Verdict QcdPreamble::inspect(const BitVec& superposed) const {
   RFID_REQUIRE(superposed.size() == bits(),
                "superposed preamble has the wrong length");
@@ -54,6 +57,7 @@ QcdPreamble::Verdict QcdPreamble::inspect(const BitVec& superposed) const {
   }
   return cp == (rp ^ maxR_) ? Verdict::kSingle : Verdict::kCollided;
 }
+// rfid:hot end
 
 double QcdPreamble::evasionProbability(unsigned strength, std::size_t m) {
   RFID_REQUIRE(strength >= 1 && strength <= 64,

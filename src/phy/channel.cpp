@@ -8,6 +8,7 @@ using common::BitVec;
 
 namespace {
 
+// rfid:hot begin
 /// Engages out.signal (keeping any existing word storage) and returns it.
 BitVec& signalScratch(Reception& out) {
   if (!out.signal.has_value()) {
@@ -25,6 +26,7 @@ void orAllInto(std::span<const BitVec> transmissions, Reception& out) {
     sum |= transmissions[i];
   }
 }
+// rfid:hot end
 
 }  // namespace
 
@@ -35,6 +37,7 @@ Reception Channel::superpose(std::span<const BitVec> transmissions,
   return r;
 }
 
+// rfid:hot begin
 void OrChannel::superposeInto(std::span<const BitVec> transmissions,
                               common::Rng& /*rng*/, Reception& out) {
   out.capturedIndex.reset();
@@ -47,6 +50,7 @@ void OrChannel::superposeInto(std::span<const BitVec> transmissions,
     out.capturedIndex = 0;
   }
 }
+// rfid:hot end
 
 CaptureChannel::CaptureChannel(double captureProbability)
     : p_(captureProbability) {
@@ -54,6 +58,7 @@ CaptureChannel::CaptureChannel(double captureProbability)
                "capture probability must be in [0, 1]");
 }
 
+// rfid:hot begin
 void CaptureChannel::superposeInto(std::span<const BitVec> transmissions,
                                    common::Rng& rng, Reception& out) {
   out.capturedIndex.reset();
@@ -74,5 +79,6 @@ void CaptureChannel::superposeInto(std::span<const BitVec> transmissions,
   }
   orAllInto(transmissions, out);
 }
+// rfid:hot end
 
 }  // namespace rfid::phy

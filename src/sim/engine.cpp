@@ -10,12 +10,14 @@ SlotEngine::SlotEngine(const core::DetectionScheme& scheme,
                        phy::Channel& channel, Metrics& metrics)
     : scheme_(scheme), channel_(channel), metrics_(metrics) {}
 
+// rfid:hot begin
 SlotType SlotEngine::runSlot(std::span<tags::Tag> tags,
                              std::span<const std::size_t> responders,
                              common::Rng& rng) {
   // Grow the scratch only at a new high-water mark; existing elements keep
   // their word storage and are overwritten in place.
   if (txScratch_.size() < responders.size()) {
+    // rfid:hot-allow: high-water-mark growth; steady state reuses storage
     txScratch_.resize(responders.size());
   }
   std::size_t txCount = 0;
@@ -103,5 +105,6 @@ SlotType SlotEngine::runSlot(std::span<tags::Tag> tags,
   ++slotIndex_;
   return detected;
 }
+// rfid:hot end
 
 }  // namespace rfid::sim

@@ -1,0 +1,30 @@
+// Fixture: exercises every rule's *negative* space — must lint clean.
+//
+// The string below would trip RFID-DET-001 if literals were scanned, the
+// comment-only mentions of std::rand() and std::thread must be ignored,
+// and the hot region shows a justified rfid:hot-allow plus a justified
+// lint suppression.
+#include <cstddef>
+#include <vector>
+
+namespace rfid::fixture {
+
+inline const char* kLabel = "inventory time (us)";
+
+// A comment may discuss std::rand() or std::thread freely.
+
+// rfid:hot begin
+inline void steadyState(std::vector<int>& scratch, std::size_t n) {
+  if (scratch.size() < n) {
+    // rfid:hot-allow: high-water-mark growth; steady state reuses storage
+    scratch.resize(n);
+  }
+  scratch[0] = 1;
+}
+// rfid:hot end
+
+inline long justified(int x) {
+  return x;  // NOLINT(bugprone-example-check): fixture shows reason syntax
+}
+
+}  // namespace rfid::fixture

@@ -1,0 +1,12 @@
+// Fixture: RFID-HOT-002 — container growth inside an rfid:hot region.
+#include <vector>
+
+namespace rfid::fixture {
+
+// rfid:hot begin
+void slotPath(std::vector<int>& scratch, int value) {
+  scratch.push_back(value);  // RFID-HOT-002
+}
+// rfid:hot end
+
+}  // namespace rfid::fixture

@@ -1,0 +1,7 @@
+// Fixture: RFID-HOT-002 — a hot region that is never closed.
+namespace rfid::fixture {
+
+// rfid:hot begin
+inline int leftOpen() { return 1; }
+
+}  // namespace rfid::fixture

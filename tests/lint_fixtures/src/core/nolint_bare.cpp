@@ -1,0 +1,8 @@
+// Fixture: RFID-NOLINT-005 — a suppression with no check name or reason.
+namespace rfid::fixture {
+
+inline long widen(int x) {
+  return x;  // NOLINT
+}
+
+}  // namespace rfid::fixture

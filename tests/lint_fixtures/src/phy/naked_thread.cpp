@@ -1,0 +1,11 @@
+// Fixture: RFID-THR-004 — a thread spawned outside the shared pool.
+#include <thread>
+
+namespace rfid::fixture {
+
+void spawn() {
+  std::thread worker([] {});  // RFID-THR-004
+  worker.join();
+}
+
+}  // namespace rfid::fixture

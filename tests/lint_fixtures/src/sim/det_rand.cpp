@@ -1,0 +1,13 @@
+// Fixture: RFID-DET-001 — ambient entropy in simulation code.
+#include <cstdlib>
+#include <random>
+
+namespace rfid::fixture {
+
+unsigned ambientEntropy() {
+  std::random_device rd;                      // RFID-DET-001
+  return static_cast<unsigned>(std::rand()) + // RFID-DET-001
+         rd();
+}
+
+}  // namespace rfid::fixture

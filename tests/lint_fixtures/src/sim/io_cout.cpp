@@ -1,0 +1,10 @@
+// Fixture: RFID-IO-003 — stdout chatter in library code.
+#include <iostream>
+
+namespace rfid::fixture {
+
+void noisy(int slots) {
+  std::cout << "slots: " << slots << "\n";  // RFID-IO-003
+}
+
+}  // namespace rfid::fixture

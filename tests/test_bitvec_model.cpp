@@ -156,7 +156,11 @@ INSTANTIATE_TEST_SUITE_P(Widths, BitVecModelTest,
                          ::testing::Values<std::size_t>(1, 7, 16, 63, 64, 65,
                                                         96, 128, 200),
                          [](const auto& paramInfo) {
-                           return "w" + std::to_string(paramInfo.param);
+                           // += form sidesteps GCC 12's bogus -Wrestrict
+                           // on `const char* + std::string&&`.
+                           std::string name = "w";
+                           name += std::to_string(paramInfo.param);
+                           return name;
                          });
 
 }  // namespace

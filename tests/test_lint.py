@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Tests for scripts/check_invariants.py.
+
+Each fixture under tests/lint_fixtures/ is a minimal violation of exactly
+one rule (plus clean.cpp, which exercises every rule's negative space:
+string literals, comment-only mentions, justified rfid:hot-allow and
+NOLINT).  The fixtures mirror the real tree's src/ layout because the
+rules are path-scoped; --project-root points the linter at the fixture
+root.  Registered with ctest as `LintFixtures`; also runnable directly:
+
+    python3 tests/test_lint.py
+"""
+
+import subprocess
+import sys
+import unittest
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+LINTER = REPO / "scripts" / "check_invariants.py"
+FIXTURES = REPO / "tests" / "lint_fixtures"
+
+# fixture path (relative to FIXTURES) -> rule id it must trip.
+EXPECTED = {
+    "src/sim/det_rand.cpp": "RFID-DET-001",
+    "src/core/hot_alloc.cpp": "RFID-HOT-002",
+    "src/core/hot_unbalanced.cpp": "RFID-HOT-002",
+    "src/sim/io_cout.cpp": "RFID-IO-003",
+    "src/phy/naked_thread.cpp": "RFID-THR-004",
+    "src/core/nolint_bare.cpp": "RFID-NOLINT-005",
+}
+
+
+def run_linter(*roots: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(LINTER), "--project-root", str(FIXTURES),
+         *roots],
+        capture_output=True, text=True, check=False)
+
+
+class FixtureViolations(unittest.TestCase):
+    def test_each_fixture_trips_exactly_its_rule(self):
+        for relpath, rule in EXPECTED.items():
+            with self.subTest(fixture=relpath):
+                proc = run_linter(relpath)
+                self.assertEqual(proc.returncode, 1,
+                                 f"{relpath} should fail\n{proc.stdout}")
+                self.assertIn(rule, proc.stdout)
+                for other in set(EXPECTED.values()) - {rule}:
+                    self.assertNotIn(
+                        other, proc.stdout,
+                        f"{relpath} tripped unrelated rule {other}")
+
+    def test_violations_carry_file_and_line(self):
+        proc = run_linter("src/sim/det_rand.cpp")
+        self.assertRegex(proc.stdout,
+                         r"src/sim/det_rand\.cpp:\d+: RFID-DET-001")
+
+    def test_clean_file_passes(self):
+        proc = run_linter("src/core/clean.cpp")
+        self.assertEqual(
+            proc.returncode, 0,
+            f"clean.cpp must pass\n{proc.stdout}{proc.stderr}")
+
+    def test_whole_fixture_tree_counts_all_rules(self):
+        proc = run_linter("src")
+        self.assertEqual(proc.returncode, 1)
+        for rule in set(EXPECTED.values()):
+            self.assertIn(rule, proc.stdout)
+
+    def test_list_rules(self):
+        proc = subprocess.run(
+            [sys.executable, str(LINTER), "--list-rules"],
+            capture_output=True, text=True, check=False)
+        self.assertEqual(proc.returncode, 0)
+        for rule in set(EXPECTED.values()):
+            self.assertIn(rule, proc.stdout)
+
+
+class RealTreeIsClean(unittest.TestCase):
+    def test_repository_lints_clean(self):
+        proc = subprocess.run(
+            [sys.executable, str(LINTER)],
+            capture_output=True, text=True, check=False)
+        self.assertEqual(
+            proc.returncode, 0,
+            f"the real tree must lint clean\n{proc.stdout}{proc.stderr}")
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -44,8 +44,13 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(2u, 4u, 8u, 16u),
                        ::testing::Values<std::size_t>(10, 60, 200)),
     [](const auto& paramInfo) {
-      return "l" + std::to_string(std::get<0>(paramInfo.param)) + "_n" +
-             std::to_string(std::get<1>(paramInfo.param));
+      // Built with += to sidestep GCC 12's bogus -Wrestrict on the
+      // `const char* + std::string&&` overload chain.
+      std::string name = "l";
+      name += std::to_string(std::get<0>(paramInfo.param));
+      name += "_n";
+      name += std::to_string(std::get<1>(paramInfo.param));
+      return name;
     });
 
 // Delays are monotone in slot order and bounded by total airtime.
