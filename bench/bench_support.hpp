@@ -17,6 +17,11 @@
 //                      metrics-registry dump with slot-type histograms)
 //   RFID_TRACE=<path>  stream a per-slot CSV trace (sim::CsvTraceWriter) of
 //                      every simulated slot to <path>
+//   RFID_BER=<p>       bit-error rate for the channel-impairment layer
+//                      (applied to benches that call impairmentFromEnv();
+//                      0/unset = the clean channel)
+//   RFID_IMPAIRMENT=<m> impairment model: none | bsc | ge | erasure
+//                      (unset with RFID_BER > 0 implies bsc)
 //
 // printHeader() arms the layer, installs a TextTable print tap so every
 // table a bench prints lands in the report automatically, and registers an
@@ -139,6 +144,65 @@ inline std::string gitRevision() {
 /// service worker pool. 0 (unset/unparsable) = auto.
 inline unsigned threadsOverride() {
   return static_cast<unsigned>(common::envOr("RFID_THREADS", 0));
+}
+
+/// The one-knob impairment parameterization the benches sweep: `ber` fills
+/// the selected model's rates (BSC: both legs; Gilbert–Elliott: the
+/// bad-state rate under a fixed burst geometry of mean burst length 50 bits
+/// and ~2% bad-state occupancy; erasure: per-reply loss, with whole-slot
+/// fades at a tenth of it).
+inline phy::ImpairmentConfig impairmentConfigFor(phy::ImpairmentModel model,
+                                                 double ber) {
+  phy::ImpairmentConfig cfg;
+  cfg.model = model;
+  switch (model) {
+    case phy::ImpairmentModel::kNone:
+      break;
+    case phy::ImpairmentModel::kBsc:
+      cfg.tagToReaderBer = ber;
+      cfg.detectionBer = ber;
+      break;
+    case phy::ImpairmentModel::kGilbertElliott:
+      cfg.geGoodToBad = 0.0004;
+      cfg.geBadToGood = 0.02;
+      cfg.geBerGood = 0.0;
+      cfg.geBerBad = ber;
+      break;
+    case phy::ImpairmentModel::kErasure:
+      cfg.transmissionLoss = ber;
+      cfg.slotFade = ber / 10.0;
+      break;
+  }
+  return cfg;
+}
+
+/// RFID_BER / RFID_IMPAIRMENT override: the impairment layer a bench should
+/// apply. Unset (or RFID_IMPAIRMENT=none with RFID_BER=0) returns a
+/// disabled config — the clean channel, bit-identical to pre-impairment
+/// builds. RFID_BER alone implies the BSC model on both legs; an
+/// unparsable RFID_IMPAIRMENT falls back to none and warns. The chosen
+/// model and rate are echoed into the report's config manifest.
+inline phy::ImpairmentConfig impairmentFromEnv() {
+  const double ber = common::envOrDouble("RFID_BER", 0.0);
+  const std::string rawModel = common::envOr("RFID_IMPAIRMENT", std::string{});
+  phy::ImpairmentModel model = phy::ImpairmentModel::kNone;
+  if (rawModel.empty()) {
+    model = ber > 0.0 ? phy::ImpairmentModel::kBsc
+                      : phy::ImpairmentModel::kNone;
+  } else if (const auto parsed = phy::parseImpairmentModel(rawModel);
+             parsed.has_value()) {
+    model = *parsed;
+  } else {
+    std::fprintf(stderr, "warning: unknown RFID_IMPAIRMENT=%s, using none\n",
+                 rawModel.c_str());
+  }
+  const phy::ImpairmentConfig cfg = impairmentConfigFor(model, ber);
+  detail::Observability& o = detail::obs();
+  if (o.report.has_value() && cfg.enabled()) {
+    o.report->setConfig("rfid_impairment_env", phy::toString(cfg.model));
+    o.report->setConfig("rfid_ber_env", ber);
+  }
+  return cfg;
 }
 
 /// The active run report. Valid after printHeader()/initObservability().

@@ -1,13 +1,17 @@
 // Slot hot-path microbench: legacy allocating slot loop vs
 // SlotEngine::runSlot on an identical slot schedule.
 //
-// Three claims are checked, not just measured:
+// Four claims are checked, not just measured:
 //   1. steady-state slots through the engine perform ZERO heap allocations
 //      (counted by replacing global operator new/delete) — the process exits
 //      nonzero if any slip in;
 //   2. the same holds with a RegistryObserver attached (the observability
 //      layer must not reintroduce allocations into the hot path);
-//   3. the in-place path is faster than the legacy one (both slots/sec are
+//   3. the same holds with the channel-impairment layer engaged (an
+//      ImpairedChannel wrapping the OR channel with a BSC flipping bits on
+//      both legs) — the impairment apply path reuses high-water-mark
+//      scratch after warmup;
+//   4. the in-place path is faster than the legacy one (both slots/sec are
 //      reported; the driver compares against the >= 2x acceptance bar).
 // Results land in BENCH_slot.json (rfid-run-report/1 schema) in the working
 // directory; RFID_JSON overrides the path.
@@ -25,6 +29,8 @@
 #include "common/rng.hpp"
 #include "core/detection_scheme.hpp"
 #include "phy/channel.hpp"
+#include "phy/impairments/impaired_channel.hpp"
+#include "phy/impairments/impairment.hpp"
 #include "sim/engine.hpp"
 #include "sim/metrics.hpp"
 #include "sim/trace.hpp"
@@ -216,6 +222,40 @@ int main() {
     observedSlotsPerSec = static_cast<double>(kMeasuredSlots) / elapsed;
   }
 
+  // --- engine hot path through the impairment layer -----------------------
+  // The noisy-channel wrapper copies each transmission into reusable
+  // scratch, flips bits, and superposes via the inner channel; after the
+  // warmup grows the high-water marks, steady-state impaired slots must be
+  // allocation-free too (RFID-HOT-002 extends to the apply path).
+  double impairedSlotsPerSec = 0.0;
+  std::uint64_t impairedAllocs = 0;
+  {
+    std::vector<Tag> tags = initialTags;
+    Metrics metrics;
+    metrics.reserveIdentifications(2 * kMeasuredSlots);
+    rfid::phy::ImpairedChannel impaired(channel, kSeed);
+    rfid::phy::ImpairmentConfig noisy;
+    noisy.model = rfid::phy::ImpairmentModel::kBsc;
+    noisy.tagToReaderBer = 1e-3;
+    noisy.detectionBer = 1e-3;
+    impaired.addImpairment(noisy);
+    SlotEngine engine(scheme, impaired, metrics);
+    Rng rng(kSeed);
+    for (const auto& responders : kSchedule) {  // warmup to high-water marks
+      engine.runSlot(tags, responders, rng);
+    }
+    const std::uint64_t allocsBefore =
+        gAllocCount.load(std::memory_order_relaxed);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t s = 0; s < kMeasuredSlots; ++s) {
+      engine.runSlot(tags, kSchedule[s % kSchedule.size()], rng);
+    }
+    const double elapsed = secondsSince(t0);
+    impairedAllocs =
+        gAllocCount.load(std::memory_order_relaxed) - allocsBefore;
+    impairedSlotsPerSec = static_cast<double>(kMeasuredSlots) / elapsed;
+  }
+
   const double speedup = hotSlotsPerSec / legacySlotsPerSec;
   std::printf("legacy : %12.0f slots/sec  (%llu allocs / %zu slots)\n",
               legacySlotsPerSec, static_cast<unsigned long long>(legacyAllocs),
@@ -226,6 +266,9 @@ int main() {
   std::printf("engine+registry: %4.0f slots/sec  (%llu allocs / %zu slots)\n",
               observedSlotsPerSec,
               static_cast<unsigned long long>(observedAllocs), kMeasuredSlots);
+  std::printf("engine+impair : %5.0f slots/sec  (%llu allocs / %zu slots)\n",
+              impairedSlotsPerSec,
+              static_cast<unsigned long long>(impairedAllocs), kMeasuredSlots);
   std::printf("speedup: %.2fx\n", speedup);
 
   auto& rep = rfid::bench::report();
@@ -243,16 +286,22 @@ int main() {
                    static_cast<double>(hotAllocs));
   rep.addResult("steady_state_allocs_with_registry", std::nullopt,
                    /*closedForm=*/0.0, static_cast<double>(observedAllocs));
+  rep.addResult("steady_state_allocs_with_impairments", std::nullopt,
+                   /*closedForm=*/0.0, static_cast<double>(impairedAllocs));
+  rep.addResult("impaired_slots_per_sec", std::nullopt, std::nullopt,
+                   impairedSlotsPerSec);
   rep.addResult("slots_measured", std::nullopt, std::nullopt,
                    static_cast<double>(kMeasuredSlots));
   rfid::bench::printFooter();
 
-  if (hotAllocs != 0 || observedAllocs != 0) {
+  if (hotAllocs != 0 || observedAllocs != 0 || impairedAllocs != 0) {
     std::fprintf(stderr,
-                 "FAIL: engine hot path performed %llu (+%llu with registry) "
-                 "heap allocations at steady state (expected 0)\n",
+                 "FAIL: engine hot path performed %llu (+%llu with registry, "
+                 "+%llu with impairments) heap allocations at steady state "
+                 "(expected 0)\n",
                  static_cast<unsigned long long>(hotAllocs),
-                 static_cast<unsigned long long>(observedAllocs));
+                 static_cast<unsigned long long>(observedAllocs),
+                 static_cast<unsigned long long>(impairedAllocs));
     return 1;
   }
   return 0;

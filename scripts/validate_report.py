@@ -122,6 +122,31 @@ def validate(path):
                    p["rejected_deadline"] <= p["submitted"],
                    f"load point {p.get('name')!r}: outcomes exceed submitted")
 
+    # Optional channel-impairment section (benches that run the
+    # phy/impairments layer): an impairment-config echo (strings) plus the
+    # detection confusion matrix [true][detected], one row per true slot
+    # type, columns idle/single/collided.
+    channel = doc.get("channel")
+    if channel is not None:
+        expect(path, isinstance(channel, dict), "channel must be an object")
+        impairment = channel.get("impairment")
+        expect(path, isinstance(impairment, dict) and
+               all(isinstance(k, str) and isinstance(v, str)
+                   for k, v in impairment.items()),
+               "channel.impairment must be an object of strings")
+        confusion = channel.get("confusion")
+        expect(path, isinstance(confusion, dict) and
+               set(confusion) == {"true_idle", "true_single",
+                                  "true_collided"},
+               "channel.confusion must carry exactly "
+               "true_idle/true_single/true_collided")
+        for row_name, row in confusion.items():
+            expect(path, isinstance(row, list) and len(row) == 3 and
+                   all(isinstance(c, int) and not isinstance(c, bool) and
+                       c >= 0 for c in row),
+                   f"channel.confusion.{row_name} must be three "
+                   f"non-negative integers")
+
     registry = doc.get("registry")
     expect(path, isinstance(registry, dict), "registry must be an object")
     counters = registry.get("counters")
@@ -143,9 +168,11 @@ def validate(path):
                len(h["counts"]) == len(h["bounds"]) + 1,
                f"histogram {name!r}: counts must have len(bounds)+1 entries")
 
+    sections = "".join(
+        f", {name}" for name in ("service", "channel") if doc.get(name))
     print(f"{path}: valid rfid-run-report/1 "
           f"({len(results)} results, {len(tables)} tables, "
-          f"{len(counters)} counters)")
+          f"{len(counters)} counters{sections})")
 
 
 def main(argv):

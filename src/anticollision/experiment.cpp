@@ -10,6 +10,7 @@
 #include "common/require.hpp"
 #include "common/stats.hpp"
 #include "phy/channel.hpp"
+#include "phy/impairments/impaired_channel.hpp"
 #include "sim/montecarlo.hpp"
 #include "tags/population.hpp"
 
@@ -101,9 +102,14 @@ std::unique_ptr<Protocol> makeProtocol(ProtocolKind kind,
 AggregateResult runExperiment(const ExperimentConfig& config) {
   RFID_REQUIRE(config.rounds >= 1, "need at least one round");
 
-  std::vector<sim::Metrics> rounds = sim::runMonteCarlo(
+  // Extra-census-pass counts, indexed by round so parallel workers never
+  // share an element.
+  std::vector<unsigned> passesByRound(config.rounds, 0);
+
+  std::vector<sim::Metrics> rounds = sim::runMonteCarloIndexed(
       config.rounds, config.seed,
-      [&config](common::Rng& rng, sim::Metrics& metrics) {
+      [&config, &passesByRound](std::size_t roundIndex, common::Rng& rng,
+                                sim::Metrics& metrics) {
         // Per-round: fresh population, scheme, channel, protocol.
         auto scheme = makeScheme(config.scheme, config.qcdStrength,
                                  config.air, config.qcdChargeIdPhase);
@@ -114,16 +120,50 @@ AggregateResult runExperiment(const ExperimentConfig& config) {
         } else {
           channel = std::make_unique<phy::OrChannel>();
         }
+        // The impairment layer wraps the inner channel only when a model is
+        // configured; its randomness is keyed outside the round stream so
+        // this wrapping (or its absence) never shifts a tag decision.
+        phy::ImpairedChannel impaired(
+            *channel, phy::impairmentStreamSeed(config.seed, roundIndex));
+        const bool impairmentsOn = impaired.addImpairment(config.impairment);
+        phy::Channel& liveChannel =
+            impairmentsOn ? static_cast<phy::Channel&>(impaired) : *channel;
         auto protocol =
             makeProtocol(config.protocol, config.frameSize, config.maxSlots);
         std::vector<tags::Tag> population = tags::makeUniformPopulation(
             config.tagCount, config.air.idBits, rng);
 
-        sim::SlotEngine engine(*scheme, *channel, metrics);
+        sim::SlotEngine engine(*scheme, liveChannel, metrics);
+        engine.setRecoveryPolicy(config.recovery);
         engine.setObserver(config.observer);
         // A round that hits the slot cap leaves tags unidentified; the
         // aggregation detects that via Metrics::identified().
         (void)protocol->run(engine, population, rng);
+
+        // Recovery: noise (erasures, rejected verifies) can leave a
+        // protocol's own termination condition satisfied while honest tags
+        // still contend. Re-census the stragglers with fresh protocol
+        // instances until everyone is silenced, nobody new is, or the pass
+        // budget runs out.
+        for (unsigned pass = 0; pass < config.recoveryMaxPasses; ++pass) {
+          bool anyActive = false;
+          for (const tags::Tag& tag : population) {
+            if (!tag.blocker && !tag.believesIdentified) {
+              anyActive = true;
+              break;
+            }
+          }
+          if (!anyActive) break;
+          const std::uint64_t identifiedBefore = metrics.identified();
+          auto retry = makeProtocol(config.protocol, config.frameSize,
+                                    config.maxSlots);
+          ++passesByRound[roundIndex];
+          (void)retry->run(engine, population, rng);
+          if (metrics.identified() == identifiedBefore) break;
+        }
+        if (impairmentsOn) {
+          metrics.setChannelStats(impaired.stats());
+        }
       },
       // An observer is a single-threaded sink shared by every round, so its
       // presence forces serial execution (round results are thread-count
@@ -131,7 +171,8 @@ AggregateResult runExperiment(const ExperimentConfig& config) {
       config.observer != nullptr ? 1u : config.threads, config.stats);
 
   AggregateResult agg;
-  for (const sim::Metrics& m : rounds) {
+  for (std::size_t k = 0; k < rounds.size(); ++k) {
+    const sim::Metrics& m = rounds[k];
     agg.idleSlots.add(static_cast<double>(m.detectedCensus().idle));
     agg.singleSlots.add(static_cast<double>(m.detectedCensus().single));
     agg.collidedSlots.add(static_cast<double>(m.detectedCensus().collided));
@@ -144,6 +185,16 @@ AggregateResult runExperiment(const ExperimentConfig& config) {
         static_cast<double>(config.air.idBits), config.air.tauMicros));
     agg.phantoms.add(static_cast<double>(m.phantoms()));
     agg.lostTags.add(static_cast<double>(m.lostTags()));
+    agg.correctTags.add(static_cast<double>(m.correctlyIdentified()));
+    agg.misreads.add(static_cast<double>(m.misreads()));
+    agg.verifyRejects.add(static_cast<double>(m.verifyRejects()));
+    agg.recoveryPasses.add(static_cast<double>(passesByRound[k]));
+    for (std::size_t t = 0; t < 3; ++t) {
+      for (std::size_t d = 0; d < 3; ++d) {
+        agg.confusionTotal[t][d] += m.confusion()[t][d];
+      }
+    }
+    agg.channelTotals += m.channelStats();
 
     common::RunningStats delays;
     for (const double d : m.delaysMicros()) {

@@ -4,6 +4,7 @@
 // section is a configuration of runExperiment().
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -12,6 +13,7 @@
 #include "common/stats.hpp"
 #include "core/detection_scheme.hpp"
 #include "phy/air_interface.hpp"
+#include "phy/impairments/impairment.hpp"
 #include "sim/montecarlo.hpp"
 #include "sim/trace.hpp"
 
@@ -47,6 +49,20 @@ struct ExperimentConfig {
   phy::AirInterface air{};
   /// 0 = the paper's pure OR channel; > 0 enables the capture extension.
   double captureProbability = 0.0;
+  /// Channel impairments (phy/impairments/): kNone leaves the channel
+  /// untouched and the round bit-identical to pre-impairment builds. Round
+  /// k's impairment stream is impairmentStreamSeed(seed, k) — disjoint from
+  /// the round stream, so a BER-0 model also reproduces the noiseless run
+  /// exactly.
+  phy::ImpairmentConfig impairment{};
+  /// Reader-side noise defense (see sim::RecoveryPolicy).
+  sim::RecoveryPolicy recovery{};
+  /// After the protocol's own run, up to this many extra census passes over
+  /// the tags still contending (fresh protocol instance each; stops early
+  /// when a pass silences nobody). A safety net for protocols whose
+  /// termination can strand tags under erasures; 0 = off (the default, and
+  /// the pre-impairment behavior).
+  unsigned recoveryMaxPasses = 0;
   std::size_t rounds = 100;
   std::uint64_t seed = 42;
   unsigned threads = 0;
@@ -76,7 +92,15 @@ struct AggregateResult {
   common::SampleSet utilizationRate;     ///< UR (§VI-C)
   common::SampleSet phantoms;
   common::SampleSet lostTags;
+  common::SampleSet correctTags;     ///< per-round correctly identified tags
+  common::SampleSet misreads;        ///< corrupted singles accepted unverified
+  common::SampleSet verifyRejects;   ///< ACK-verify exchanges that failed
+  common::SampleSet recoveryPasses;  ///< extra census passes actually run
   std::size_t completedRounds = 0;  ///< rounds that finished within maxSlots
+  /// Detection confusion matrix [true][detected] summed over all rounds.
+  std::array<std::array<std::uint64_t, 3>, 3> confusionTotal{};
+  /// Channel impairment counters summed over all rounds.
+  phy::ImpairmentStats channelTotals;
 };
 
 /// Builds a detection scheme.

@@ -168,6 +168,15 @@ std::uint64_t envOr(const char* name, std::uint64_t fallback) {
   return parsed;
 }
 
+double envOrDouble(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(raw, &end);
+  if (end == raw || *end != '\0') return fallback;
+  return parsed;
+}
+
 std::string envOr(const char* name, const std::string& fallback) {
   const char* raw = std::getenv(name);
   return raw == nullptr ? fallback : std::string(raw);

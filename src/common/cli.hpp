@@ -56,6 +56,12 @@ class ArgParser {
 /// bench binaries.
 std::uint64_t envOr(const char* name, std::uint64_t fallback);
 
+/// Reads a floating-point value from environment variable `name`, returning
+/// `fallback` when unset or unparsable. Used for the RFID_BER override in
+/// bench binaries. (Deliberately not an envOr overload: an integer-literal
+/// fallback would make every existing envOr call ambiguous.)
+double envOrDouble(const char* name, double fallback);
+
 /// Reads environment variable `name` as a string, returning `fallback`
 /// when unset. Used for the RFID_TRACE / RFID_JSON output-path conventions
 /// in bench binaries.

@@ -136,6 +136,22 @@ void RunReport::addServiceLoadPoint(ServiceLoadPoint point) {
   serviceLoadPoints_.push_back(std::move(point));
 }
 
+void RunReport::setChannelImpairment(const std::string& key,
+                                     std::string value) {
+  channelSectionSet_ = true;
+  channelImpairment_[key] = std::move(value);
+}
+
+void RunReport::setChannelImpairment(const std::string& key, double value) {
+  setChannelImpairment(key, jsonNumber(value));
+}
+
+void RunReport::setChannelConfusion(
+    const std::array<std::array<std::uint64_t, 3>, 3>& confusion) {
+  channelSectionSet_ = true;
+  channelConfusion_ = confusion;
+}
+
 std::string RunReport::json() const {
   std::ostringstream out;
   out << "{\n";
@@ -222,6 +238,28 @@ std::string RunReport::json() const {
       first = false;
     }
     out << (first ? "" : "\n    ") << "]\n";
+    out << "  },\n";
+  }
+
+  if (channelSectionSet_) {
+    out << "  \"channel\": {\n";
+    out << "    \"impairment\": {";
+    first = true;
+    for (const auto& [key, value] : channelImpairment_) {
+      out << (first ? "\n" : ",\n") << "      " << quoted(key) << ": "
+          << quoted(value);
+      first = false;
+    }
+    out << (first ? "" : "\n    ") << "},\n";
+    static constexpr const char* kTrueRows[3] = {"true_idle", "true_single",
+                                                 "true_collided"};
+    out << "    \"confusion\": {\n";
+    for (std::size_t t = 0; t < 3; ++t) {
+      out << "      " << quoted(kTrueRows[t]) << ": ["
+          << channelConfusion_[t][0] << ", " << channelConfusion_[t][1]
+          << ", " << channelConfusion_[t][2] << "]" << (t == 2 ? "\n" : ",\n");
+    }
+    out << "    }\n";
     out << "  },\n";
   }
 

@@ -23,20 +23,29 @@
 //                     "queue_wait_us": {"p50": f64, "p95": f64, "p99": f64},
 //                     "service_time_us": {"p50": f64, "p95": f64,
 //                                         "p99": f64} } ] },   // optional
+//     "channel":  { "impairment": { str: str },
+//                   "confusion": { "true_idle": [u64, u64, u64],
+//                                  "true_single": [u64, u64, u64],
+//                                  "true_collided": [u64, u64, u64] } },
+//                                                           // optional
 //     "registry": { "counters": {str: u64}, "gauges": {str: f64},
 //                   "histograms": {str: {"bounds": [f64], "counts": [u64]}} }
 //   }
 //
 // The "service" section appears only in reports produced by the inventory
-// census service's load generator (bench/loadgen_service); all other
-// benches omit it, and scripts/validate_report.py validates it when
-// present.
+// census service's load generator (bench/loadgen_service); the "channel"
+// section only in benches that run an impairment layer (its "impairment"
+// object echoes the configuration, its "confusion" object is the detection
+// confusion matrix [true][detected] with columns idle/single/collided).
+// All other benches omit them, and scripts/validate_report.py validates
+// each when present.
 //
 // `results` carries the paper/closed-form/measured triples the benches
 // already print; `tables` captures the rendered comparison tables verbatim
 // so no bench loses information in the translation.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -101,6 +110,16 @@ class RunReport {
   /// will be) called before json().
   void addServiceLoadPoint(ServiceLoadPoint point);
   bool hasServiceSection() const noexcept { return serviceTopologySet_; }
+  /// Arms the optional "channel" section and echoes one impairment-config
+  /// entry (e.g. "model" -> "bsc", "ber" -> "0.001"). Keys serialize
+  /// sorted, so insertion order is irrelevant.
+  void setChannelImpairment(const std::string& key, std::string value);
+  void setChannelImpairment(const std::string& key, double value);
+  /// Sets the channel section's detection confusion matrix
+  /// ([true][detected], SlotType order idle/single/collided).
+  void setChannelConfusion(
+      const std::array<std::array<std::uint64_t, 3>, 3>& confusion);
+  bool hasChannelSection() const noexcept { return channelSectionSet_; }
 
   std::size_t resultCount() const noexcept { return results_.size(); }
   std::size_t tableCount() const noexcept { return tables_.size(); }
@@ -140,6 +159,9 @@ class RunReport {
   std::uint64_t serviceWorkers_ = 0;
   std::uint64_t serviceQueueCapacity_ = 0;
   std::vector<ServiceLoadPoint> serviceLoadPoints_;
+  bool channelSectionSet_ = false;
+  std::map<std::string, std::string> channelImpairment_;
+  std::array<std::array<std::uint64_t, 3>, 3> channelConfusion_{};
   const MetricsRegistry* registry_ = nullptr;
 };
 

@@ -30,6 +30,8 @@ void orAllInto(std::span<const BitVec> transmissions, Reception& out) {
 
 }  // namespace
 
+void Channel::beginSlot(std::uint64_t /*slotIndex*/) {}
+
 Reception Channel::superpose(std::span<const BitVec> transmissions,
                              common::Rng& rng) {
   Reception r;
@@ -41,6 +43,8 @@ Reception Channel::superpose(std::span<const BitVec> transmissions,
 void OrChannel::superposeInto(std::span<const BitVec> transmissions,
                               common::Rng& /*rng*/, Reception& out) {
   out.capturedIndex.reset();
+  out.erased = false;
+  out.corrupted = false;
   if (transmissions.empty()) {
     out.signal.reset();
     return;
@@ -62,6 +66,8 @@ CaptureChannel::CaptureChannel(double captureProbability)
 void CaptureChannel::superposeInto(std::span<const BitVec> transmissions,
                                    common::Rng& rng, Reception& out) {
   out.capturedIndex.reset();
+  out.erased = false;
+  out.corrupted = false;
   if (transmissions.empty()) {
     out.signal.reset();
     return;

@@ -29,11 +29,27 @@ struct Reception {
   /// received *cleanly* — set when exactly one tag transmitted, or when the
   /// capture effect isolated one transmission. nullopt for a true mixture.
   std::optional<std::size_t> capturedIndex;
+  /// Set by impairment layers (phy/impairments/): tags transmitted but the
+  /// reader saw no energy (deep fade / every reply dropped). `signal` is
+  /// deliberately left engaged-but-stale so its scratch storage survives;
+  /// callers must treat the slot as idle when this is set.
+  bool erased = false;
+  /// Set by impairment layers: bits of the captured transmission or of the
+  /// superposed signal were flipped in flight, so a "clean" read may
+  /// deliver a wrong ID.
+  bool corrupted = false;
 };
 
 class Channel {
  public:
   virtual ~Channel() = default;
+
+  /// Slot-alignment hook: the slot engine announces every slot index
+  /// (including idle slots, which never reach superposeInto) before driving
+  /// the slot, so stateful channels — the impairment layer — can key their
+  /// per-slot randomness to the engine's slot counter instead of a private
+  /// call count. Default is a no-op.
+  virtual void beginSlot(std::uint64_t slotIndex);
 
   /// Superposes the time-aligned transmissions of one slot into the
   /// caller-owned `out`, reusing out.signal's storage when it is already

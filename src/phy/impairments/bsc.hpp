@@ -1,0 +1,31 @@
+// Binary symmetric channel: i.i.d. bit flips with independent rates for the
+// tag→reader leg (each reply) and the reader's energy-detection leg (the
+// superposed signal). The simplest noise floor — every bit of every signal
+// flips with a fixed probability, memorylessly.
+#pragma once
+
+#include "phy/impairments/impairment.hpp"
+
+namespace rfid::phy {
+
+class BscImpairment final : public Impairment {
+ public:
+  /// Both rates in [0, 1]. A zero rate perturbs nothing and draws nothing.
+  BscImpairment(double tagToReaderBer, double detectionBer);
+
+  std::string name() const override;
+  bool transmissionPass(std::uint64_t slotIndex, std::size_t txIndex,
+                        common::BitVec& tx, common::Rng& slotRng,
+                        ImpairmentStats& stats) override;
+  void receptionPass(std::uint64_t slotIndex, common::BitVec& signal,
+                     common::Rng& slotRng, ImpairmentStats& stats) override;
+
+  double tagToReaderBer() const noexcept { return tagToReaderBer_; }
+  double detectionBer() const noexcept { return detectionBer_; }
+
+ private:
+  double tagToReaderBer_;
+  double detectionBer_;
+};
+
+}  // namespace rfid::phy

@@ -1,0 +1,35 @@
+// Erasure/fading model: whole transmissions vanish rather than individual
+// bits flipping. Two knobs — `transmissionLoss` erases each tag reply in
+// flight with i.i.d. probability (the reader never sees that tag this slot),
+// and `slotFade` swallows an entire busy slot (deep fade: every reply lost,
+// the reader reads idle). Erasures silently convert collided slots into
+// false singles/idles and singles into false idles, which is exactly the
+// failure class the recovery layer's re-query policy exists to catch.
+#pragma once
+
+#include "phy/impairments/impairment.hpp"
+
+namespace rfid::phy {
+
+class ErasureImpairment final : public Impairment {
+ public:
+  /// Both probabilities in [0, 1]. Zero rates erase nothing and draw
+  /// nothing on the corresponding leg.
+  ErasureImpairment(double transmissionLoss, double slotFade);
+
+  std::string name() const override;
+  bool erasesSlot(std::uint64_t slotIndex, common::Rng& slotRng,
+                  ImpairmentStats& stats) override;
+  bool transmissionPass(std::uint64_t slotIndex, std::size_t txIndex,
+                        common::BitVec& tx, common::Rng& slotRng,
+                        ImpairmentStats& stats) override;
+
+  double transmissionLoss() const noexcept { return transmissionLoss_; }
+  double slotFade() const noexcept { return slotFade_; }
+
+ private:
+  double transmissionLoss_;
+  double slotFade_;
+};
+
+}  // namespace rfid::phy

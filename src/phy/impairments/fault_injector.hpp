@@ -1,0 +1,67 @@
+// Scripted fault injection: a deterministic list of point faults keyed by
+// absolute slot index, for tests that need a *specific* corruption at a
+// *specific* place — flip bit k of the superposed signal in slot n, drop
+// tag j's reply, corrupt the QCD preamble phase but not the ID phase, or
+// fade a whole slot. Unlike the stochastic models the injector never touches
+// the slot Rng, so it composes with them without perturbing their draw
+// sequence and its effect is readable straight off the script.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "phy/impairments/impairment.hpp"
+
+namespace rfid::phy {
+
+/// One scripted fault. `slot` is the absolute slot index as counted by the
+/// ImpairedChannel (its beginSlot counter).
+struct Fault {
+  enum class Kind : std::uint8_t {
+    kFlipTransmissionBit,  ///< flip `bit` of transmission `txIndex`
+    kFlipReceptionBit,     ///< flip `bit` of the superposed signal
+    kDropTransmission,     ///< erase transmission `txIndex` entirely
+    kEraseSlot,            ///< fade the whole slot
+  };
+
+  std::uint64_t slot = 0;
+  Kind kind = Kind::kFlipReceptionBit;
+  std::size_t txIndex = 0;  ///< for the per-transmission kinds
+  std::size_t bit = 0;      ///< for the bit-flip kinds
+
+  static Fault flipTransmissionBit(std::uint64_t slot, std::size_t txIndex,
+                                   std::size_t bit);
+  static Fault flipReceptionBit(std::uint64_t slot, std::size_t bit);
+  static Fault dropTransmission(std::uint64_t slot, std::size_t txIndex);
+  static Fault eraseSlot(std::uint64_t slot);
+};
+
+class FaultInjector final : public Impairment {
+ public:
+  /// Faults may arrive in any order; the ctor sorts them by slot and keeps
+  /// a cursor, so the per-slot lookup is O(faults in this slot) and
+  /// allocation-free.
+  explicit FaultInjector(std::vector<Fault> faults);
+
+  std::string name() const override;
+  bool erasesSlot(std::uint64_t slotIndex, common::Rng& slotRng,
+                  ImpairmentStats& stats) override;
+  bool transmissionPass(std::uint64_t slotIndex, std::size_t txIndex,
+                        common::BitVec& tx, common::Rng& slotRng,
+                        ImpairmentStats& stats) override;
+  void receptionPass(std::uint64_t slotIndex, common::BitVec& signal,
+                     common::Rng& slotRng, ImpairmentStats& stats) override;
+
+  std::size_t faultCount() const noexcept { return faults_.size(); }
+
+ private:
+  /// Advances the cursor past slots before `slotIndex` and returns the
+  /// half-open range [first, last) of faults scripted for it.
+  void slotRange(std::uint64_t slotIndex, std::size_t& first,
+                 std::size_t& last);
+
+  std::vector<Fault> faults_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace rfid::phy

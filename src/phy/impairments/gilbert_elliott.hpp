@@ -1,0 +1,41 @@
+// Gilbert–Elliott bursty-error model: a two-state Markov chain (good/bad)
+// advanced once per transmitted bit on the tag→reader leg, flipping with a
+// state-dependent rate. Errors therefore arrive in bursts — the failure
+// shape interleaved backscatter links actually exhibit (deep multipath
+// notches, reader-to-reader interference windows) and the one i.i.d. BSC
+// noise cannot produce.
+//
+// The channel state persists across transmissions and slots (a burst can
+// straddle a slot boundary), but every random draw comes from the per-slot
+// stream the ImpairedChannel hands in, so a replay with the same seed walks
+// the same state trajectory bit-identically.
+#pragma once
+
+#include "phy/impairments/impairment.hpp"
+
+namespace rfid::phy {
+
+class GilbertElliottImpairment final : public Impairment {
+ public:
+  /// All four parameters are probabilities in [0, 1]; `goodToBad` and
+  /// `badToGood` are per-bit transition rates, `berGood`/`berBad` the flip
+  /// rates inside each state. Starts in the good state.
+  GilbertElliottImpairment(double goodToBad, double badToGood, double berGood,
+                           double berBad);
+
+  std::string name() const override;
+  bool transmissionPass(std::uint64_t slotIndex, std::size_t txIndex,
+                        common::BitVec& tx, common::Rng& slotRng,
+                        ImpairmentStats& stats) override;
+
+  bool inBadState() const noexcept { return bad_; }
+
+ private:
+  double goodToBad_;
+  double badToGood_;
+  double berGood_;
+  double berBad_;
+  bool bad_ = false;
+};
+
+}  // namespace rfid::phy

@@ -1,0 +1,78 @@
+// ImpairedChannel: a composable decorator that puts one or more Impairment
+// models between the tags and any inner Channel (OR, capture, …).
+//
+// Per slot it (1) derives the slot's private Rng stream, (2) asks every
+// impairment whether a deep fade erases the slot, (3) copies each
+// transmission into owned scratch and runs the tag→reader passes (flips and
+// drops), (4) lets the inner channel superpose the survivors, (5) runs the
+// reception passes over the superposed signal, and (6) reports what
+// happened through Reception::erased / Reception::corrupted plus an
+// accumulated ImpairmentStats.
+//
+// Determinism (RFID-DET-001): every stochastic draw comes from
+// Rng::forStream(seed, slotIndex) — a stream keyed to the *engine's* slot
+// counter (via beginSlot) and fully disjoint from the round stream the tags
+// and the inner channel consume. Replaying a seed replays the identical
+// flip/drop schedule under any thread topology, and a slot's impairments
+// cannot shift any other slot's.
+//
+// Hot-path contract (RFID-HOT-002): all scratch (transmission copies, live
+// index map, per-transmission flip counts) grows only at a new high-water
+// mark; steady-state slots allocate nothing. bench/microbench_slot asserts
+// this with the counting allocator.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "phy/channel.hpp"
+#include "phy/impairments/impairment.hpp"
+
+namespace rfid::phy {
+
+class ImpairedChannel final : public Channel {
+ public:
+  /// Wraps `inner` (not owned; must outlive this channel). `seed` keys the
+  /// per-slot impairment streams — derive it with impairmentStreamSeed()
+  /// so it is disjoint from the simulation's round streams.
+  ImpairedChannel(Channel& inner, std::uint64_t seed);
+
+  /// Appends a model; impairments run in insertion order on every leg.
+  void addImpairment(std::unique_ptr<Impairment> impairment);
+
+  /// Convenience: builds and appends the configured model (no-op for
+  /// kNone), returning whether anything was added.
+  bool addImpairment(const ImpairmentConfig& config);
+
+  void beginSlot(std::uint64_t slotIndex) override;
+  void superposeInto(std::span<const common::BitVec> transmissions,
+                     common::Rng& rng, Reception& out) override;
+
+  const ImpairmentStats& stats() const noexcept { return stats_; }
+  void resetStats() noexcept { stats_ = ImpairmentStats{}; }
+  std::size_t impairmentCount() const noexcept { return impairments_.size(); }
+  std::uint64_t seed() const noexcept { return seed_; }
+
+ private:
+  Channel& inner_;
+  std::uint64_t seed_;
+  ImpairmentStats stats_;
+  std::vector<std::unique_ptr<Impairment>> impairments_;
+
+  /// Slot the next superposeInto belongs to. Advanced by beginSlot when an
+  /// engine drives us; self-incremented per busy call otherwise (direct
+  /// channel users, e.g. unit tests).
+  std::uint64_t currentSlot_ = 0;
+  bool externallyDriven_ = false;
+
+  /// High-water scratch: owned copies of this slot's transmissions (the
+  /// caller's span is const; impairments mutate), the original index of
+  /// each surviving copy, and its flip count (to decide `corrupted` for a
+  /// captured read).
+  std::vector<common::BitVec> txScratch_;
+  std::vector<std::size_t> liveIndex_;
+  std::vector<std::uint64_t> txFlips_;
+};
+
+}  // namespace rfid::phy

@@ -1,0 +1,72 @@
+#include "phy/impairments/impairment.hpp"
+
+#include "common/require.hpp"
+#include "phy/impairments/bsc.hpp"
+#include "phy/impairments/erasure.hpp"
+#include "phy/impairments/gilbert_elliott.hpp"
+
+namespace rfid::phy {
+
+bool Impairment::erasesSlot(std::uint64_t /*slotIndex*/,
+                            common::Rng& /*slotRng*/,
+                            ImpairmentStats& /*stats*/) {
+  return false;
+}
+
+bool Impairment::transmissionPass(std::uint64_t /*slotIndex*/,
+                                  std::size_t /*txIndex*/,
+                                  common::BitVec& /*tx*/,
+                                  common::Rng& /*slotRng*/,
+                                  ImpairmentStats& /*stats*/) {
+  return true;
+}
+
+void Impairment::receptionPass(std::uint64_t /*slotIndex*/,
+                               common::BitVec& /*signal*/,
+                               common::Rng& /*slotRng*/,
+                               ImpairmentStats& /*stats*/) {}
+
+std::string toString(ImpairmentModel model) {
+  switch (model) {
+    case ImpairmentModel::kNone:
+      return "none";
+    case ImpairmentModel::kBsc:
+      return "bsc";
+    case ImpairmentModel::kGilbertElliott:
+      return "ge";
+    case ImpairmentModel::kErasure:
+      return "erasure";
+  }
+  RFID_REQUIRE(false, "unknown impairment model");
+  return "none";
+}
+
+std::optional<ImpairmentModel> parseImpairmentModel(std::string_view name) {
+  if (name == "none") return ImpairmentModel::kNone;
+  if (name == "bsc") return ImpairmentModel::kBsc;
+  if (name == "ge" || name == "gilbert-elliott")
+    return ImpairmentModel::kGilbertElliott;
+  if (name == "erasure") return ImpairmentModel::kErasure;
+  return std::nullopt;
+}
+
+std::unique_ptr<Impairment> makeImpairment(const ImpairmentConfig& config) {
+  switch (config.model) {
+    case ImpairmentModel::kNone:
+      return nullptr;
+    case ImpairmentModel::kBsc:
+      return std::make_unique<BscImpairment>(config.tagToReaderBer,
+                                             config.detectionBer);
+    case ImpairmentModel::kGilbertElliott:
+      return std::make_unique<GilbertElliottImpairment>(
+          config.geGoodToBad, config.geBadToGood, config.geBerGood,
+          config.geBerBad);
+    case ImpairmentModel::kErasure:
+      return std::make_unique<ErasureImpairment>(config.transmissionLoss,
+                                                 config.slotFade);
+  }
+  RFID_REQUIRE(false, "unknown impairment model");
+  return nullptr;
+}
+
+}  // namespace rfid::phy

@@ -29,6 +29,14 @@ struct CensusRequest {
   /// Client-chosen seed; folded into the service-derived stream so two
   /// clients with the same population spec can still get distinct censuses.
   std::uint64_t seed = 0;
+  /// Channel conditions for the census (kNone = the clean OR channel).
+  /// Deterministic per (streamSeed, round) like everything else, so a noisy
+  /// census replays bit-identically through runStandalone too.
+  phy::ImpairmentConfig impairment{};
+  /// Reader-side noise defense + bounded re-census passes (see
+  /// ExperimentConfig::recovery / recoveryMaxPasses).
+  sim::RecoveryPolicy recovery{};
+  unsigned recoveryMaxPasses = 0;
   /// Deadline relative to submit time, in microseconds; a request still
   /// queued when it expires is rejected without burning a worker. 0 = none.
   double deadlineMicros = 0.0;

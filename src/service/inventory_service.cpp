@@ -33,6 +33,9 @@ anticollision::ExperimentConfig censusConfig(const CensusRequest& request,
   cfg.frameSize = request.frameSize;
   cfg.rounds = request.rounds;
   cfg.seed = streamSeed;
+  cfg.impairment = request.impairment;
+  cfg.recovery = request.recovery;
+  cfg.recoveryMaxPasses = request.recoveryMaxPasses;
   // Requests, not rounds, are the service's parallelism unit; serial rounds
   // also keep one request's work on one worker (no nested parallelism).
   cfg.threads = 1;

@@ -14,6 +14,10 @@ SlotEngine::SlotEngine(const core::DetectionScheme& scheme,
 SlotType SlotEngine::runSlot(std::span<tags::Tag> tags,
                              std::span<const std::size_t> responders,
                              common::Rng& rng) {
+  // Announce the slot index first so stateful channels (the impairment
+  // layer) key their per-slot randomness to it — idle slots included, which
+  // keeps the schedule aligned even though they never reach the channel.
+  channel_.beginSlot(slotIndex_);
   // Grow the scratch only at a new high-water mark; existing elements keep
   // their word storage and are overwritten in place.
   if (txScratch_.size() < responders.size()) {
@@ -44,9 +48,18 @@ SlotType SlotEngine::runSlot(std::span<tags::Tag> tags,
   const std::optional<common::BitVec>* signal = &kNoSignal;
   if (responders.empty()) {
     rxScratch_.capturedIndex.reset();
+    rxScratch_.erased = false;
+    rxScratch_.corrupted = false;
   } else {
     channel_.superposeInto({txScratch_.data(), txCount}, rng, rxScratch_);
-    signal = &rxScratch_.signal;
+    if (rxScratch_.erased) {
+      // A deep fade (or every reply dropped) — the reader sees no energy.
+      // rxScratch_.signal is engaged-but-stale by contract; classify from
+      // the no-signal sentinel instead.
+      rxScratch_.capturedIndex.reset();
+    } else {
+      signal = &rxScratch_.signal;
+    }
   }
   const phy::Reception& reception = rxScratch_;
 
@@ -60,34 +73,64 @@ SlotType SlotEngine::runSlot(std::span<tags::Tag> tags,
       trueType, detected,
       scheme_.air().bitsToMicros(scheme_.timing().bitsFor(detected)));
 
+  SlotType effective = detected;
   if (detected == SlotType::kSingle) {
-    const double now = metrics_.nowMicros();
-    if (reception.capturedIndex.has_value()) {
-      // Exactly one signal was demodulated cleanly (a lone responder, or a
-      // capture-effect winner): the reader ACKs and reads the true ID.
-      tags::Tag& tag = tags[responders[*reception.capturedIndex]];
-      if (!tag.blocker) {
+    if (recovery_.ackVerify) {
+      // ACK-verify exchange: the reader echoes the ID it decoded and waits
+      // for the tag's confirmation. Costs airtime every time; fails when
+      // the read was corrupted in flight, when no single signal was
+      // actually captured (a misdetected collision — no tag recognizes the
+      // echoed OR-mixture), or when a blocker jammed the slot. A failed
+      // verify is treated as a collision: nobody falls silent, and the
+      // protocol re-queues the responders.
+      metrics_.chargeVerify(scheme_.air().bitsToMicros(recovery_.verifyBits));
+      const bool accepted =
+          reception.capturedIndex.has_value() && !reception.corrupted &&
+          !tags[responders[*reception.capturedIndex]].blocker;
+      metrics_.recordVerify(accepted);
+      if (accepted) {
+        const double now = metrics_.nowMicros();
+        tags::Tag& tag = tags[responders[*reception.capturedIndex]];
         tag.believesIdentified = true;
         tag.correctlyIdentified = true;
         tag.identifiedAtMicros = now;
         metrics_.recordIdentification(/*correct=*/true, now);
+      } else {
+        effective = SlotType::kCollided;
       }
     } else {
-      // Misdetected collision (e.g. all QCD responders drew the same r).
-      // The reader ACKs; every honest responder takes the ACK and falls
-      // silent, while the reader logs one phantom ID — the OR of the real
-      // ones.
-      std::uint64_t silenced = 0;
-      for (const std::size_t idx : responders) {
-        tags::Tag& tag = tags[idx];
-        if (tag.blocker) continue;
-        tag.believesIdentified = true;
-        tag.correctlyIdentified = false;
-        tag.identifiedAtMicros = now;
-        metrics_.recordIdentification(/*correct=*/false, now);
-        ++silenced;
+      const double now = metrics_.nowMicros();
+      if (reception.capturedIndex.has_value()) {
+        // Exactly one signal was demodulated cleanly (a lone responder, or
+        // a capture-effect winner): the reader ACKs and reads the ID. If
+        // the channel flipped bits of that reply, the ACK still silences
+        // the tag but the reader has logged a wrong ID — a misread.
+        tags::Tag& tag = tags[responders[*reception.capturedIndex]];
+        if (!tag.blocker) {
+          const bool correct = !reception.corrupted;
+          tag.believesIdentified = true;
+          tag.correctlyIdentified = correct;
+          tag.identifiedAtMicros = now;
+          metrics_.recordIdentification(correct, now);
+          if (!correct) metrics_.recordMisread();
+        }
+      } else {
+        // Misdetected collision (e.g. all QCD responders drew the same r).
+        // The reader ACKs; every honest responder takes the ACK and falls
+        // silent, while the reader logs one phantom ID — the OR of the real
+        // ones.
+        std::uint64_t silenced = 0;
+        for (const std::size_t idx : responders) {
+          tags::Tag& tag = tags[idx];
+          if (tag.blocker) continue;
+          tag.believesIdentified = true;
+          tag.correctlyIdentified = false;
+          tag.identifiedAtMicros = now;
+          metrics_.recordIdentification(/*correct=*/false, now);
+          ++silenced;
+        }
+        metrics_.recordPhantom(silenced);
       }
-      metrics_.recordPhantom(silenced);
     }
   }
 
@@ -103,7 +146,10 @@ SlotType SlotEngine::runSlot(std::span<tags::Tag> tags,
     observer_->onSlot(event);
   }
   ++slotIndex_;
-  return detected;
+  // The confusion matrix and the observer saw the raw detection; the
+  // protocol is told the *effective* type (a rejected verify reads as a
+  // collision so the responders are re-queued).
+  return effective;
 }
 // rfid:hot end
 

@@ -28,6 +28,18 @@
 
 namespace rfid::sim {
 
+/// How the reader defends identification against channel noise. With
+/// `ackVerify` on, every slot read as single costs one extra verify
+/// exchange (`verifyBits` of airtime) in which the reader echoes the ID it
+/// decoded and the tag confirms; a corrupted, captured-by-nobody, or
+/// blocker-jammed read fails the echo, the reader treats the slot as
+/// collided, and the responders stay active for re-query. Off, a corrupted
+/// single silences the tag while the reader logs a wrong ID (a misread).
+struct RecoveryPolicy {
+  bool ackVerify = false;
+  double verifyBits = 16.0;
+};
+
 class SlotEngine {
  public:
   SlotEngine(const core::DetectionScheme& scheme, phy::Channel& channel,
@@ -40,7 +52,9 @@ class SlotEngine {
   ///   * if the "single" was a misdetected collision, every honest responder
   ///     is silenced by the phantom ACK and a phantom ID is recorded.
   /// Returns the slot type as the reader detected it (which is also what
-  /// the reader broadcasts to the tags).
+  /// the reader broadcasts to the tags) — except under an ackVerify
+  /// recovery policy, where a single whose verify exchange fails is
+  /// returned as collided so the protocol re-queues its responders.
   phy::SlotType runSlot(std::span<tags::Tag> tags,
                         std::span<const std::size_t> responders,
                         common::Rng& rng);
@@ -52,11 +66,17 @@ class SlotEngine {
   /// it; events cost nothing when no observer is set.
   void setObserver(SlotObserver* observer) noexcept { observer_ = observer; }
 
+  void setRecoveryPolicy(const RecoveryPolicy& policy) noexcept {
+    recovery_ = policy;
+  }
+  const RecoveryPolicy& recoveryPolicy() const noexcept { return recovery_; }
+
  private:
   const core::DetectionScheme& scheme_;
   phy::Channel& channel_;
   Metrics& metrics_;
   SlotObserver* observer_ = nullptr;
+  RecoveryPolicy recovery_;
   std::uint64_t slotIndex_ = 0;
   /// Per-responder transmission scratch. Grown only at a new high-water
   /// responder count; the element BitVecs are rewritten in place, never

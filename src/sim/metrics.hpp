@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "phy/impairments/impairment.hpp"
 #include "phy/timing.hpp"
 
 namespace rfid::sim {
@@ -56,6 +57,25 @@ class Metrics {
     ++phantoms_;
     lostTags_ += tagsLost;
   }
+  /// Airtime spent on an ACK-verify exchange (recovery policy).
+  void chargeVerify(double airtimeMicros) noexcept {
+    airtimeMicros_ += airtimeMicros;
+    nowMicros_ += airtimeMicros;
+    ++verifies_;
+  }
+  /// Outcome of an ACK-verify: `accepted` is false when the reader rejected
+  /// the read (corrupted/ambiguous) and re-queued the responders.
+  void recordVerify(bool accepted) noexcept {
+    if (!accepted) ++verifyRejects_;
+  }
+  /// A corrupted single slipped past (no verify): the tag was silenced but
+  /// the reader logged a wrong ID.
+  void recordMisread() noexcept { ++misreads_; }
+  /// Attaches the channel impairment layer's accumulated counters (copied;
+  /// called once at end of round).
+  void setChannelStats(const phy::ImpairmentStats& stats) noexcept {
+    channelStats_ = stats;
+  }
 
   /// Pre-sizes the per-tag delay log so that up to `expected`
   /// identifications record without reallocating — lets a long-running slot
@@ -79,6 +99,12 @@ class Metrics {
   std::uint64_t correctlyIdentified() const noexcept { return correct_; }
   std::uint64_t phantoms() const noexcept { return phantoms_; }
   std::uint64_t lostTags() const noexcept { return lostTags_; }
+  std::uint64_t verifies() const noexcept { return verifies_; }
+  std::uint64_t verifyRejects() const noexcept { return verifyRejects_; }
+  std::uint64_t misreads() const noexcept { return misreads_; }
+  const phy::ImpairmentStats& channelStats() const noexcept {
+    return channelStats_;
+  }
   const std::vector<double>& delaysMicros() const noexcept { return delays_; }
 
   /// λ = N₁ / (N₀ + N₁ + N_c) over the detected census (§III).
@@ -102,6 +128,10 @@ class Metrics {
   std::uint64_t correct_ = 0;
   std::uint64_t phantoms_ = 0;
   std::uint64_t lostTags_ = 0;
+  std::uint64_t verifies_ = 0;
+  std::uint64_t verifyRejects_ = 0;
+  std::uint64_t misreads_ = 0;
+  phy::ImpairmentStats channelStats_;
   std::vector<double> delays_;
 };
 

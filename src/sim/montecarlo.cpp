@@ -32,6 +32,18 @@ std::vector<Metrics> runMonteCarlo(
     std::size_t rounds, std::uint64_t seed,
     const std::function<void(common::Rng&, Metrics&)>& round,
     unsigned threads, MonteCarloStats* stats) {
+  return runMonteCarloIndexed(
+      rounds, seed,
+      [&round](std::size_t, common::Rng& rng, Metrics& metrics) {
+        round(rng, metrics);
+      },
+      threads, stats);
+}
+
+std::vector<Metrics> runMonteCarloIndexed(
+    std::size_t rounds, std::uint64_t seed,
+    const std::function<void(std::size_t, common::Rng&, Metrics&)>& round,
+    unsigned threads, MonteCarloStats* stats) {
   using Clock = std::chrono::steady_clock;
   const auto callStart = Clock::now();
   std::vector<PaddedMetrics> padded(rounds);
@@ -40,7 +52,7 @@ std::vector<Metrics> runMonteCarlo(
       [&](std::size_t k) {
         const auto roundStart = Clock::now();
         common::Rng rng = common::Rng::forStream(seed, k);
-        round(rng, padded[k].value);
+        round(k, rng, padded[k].value);
         padded[k].seconds =
             std::chrono::duration<double>(Clock::now() - roundStart).count();
       },

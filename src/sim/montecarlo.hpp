@@ -42,4 +42,14 @@ std::vector<Metrics> runMonteCarlo(
     const std::function<void(common::Rng&, Metrics&)>& round,
     unsigned threads = 0, MonteCarloStats* stats = nullptr);
 
+/// As runMonteCarlo, but the worker also receives its round index k — for
+/// rounds that must derive *additional* per-round streams (e.g. the channel
+/// impairment seed, which deliberately lives outside the round's own Rng so
+/// that disabling impairments does not shift any draw; see
+/// phy::impairmentStreamSeed).
+std::vector<Metrics> runMonteCarloIndexed(
+    std::size_t rounds, std::uint64_t seed,
+    const std::function<void(std::size_t, common::Rng&, Metrics&)>& round,
+    unsigned threads = 0, MonteCarloStats* stats = nullptr);
+
 }  // namespace rfid::sim

@@ -1,0 +1,21 @@
+// Fixture: RFID-HOT-002 — an impairment apply path that grows its
+// transmission-copy buffer per slot instead of reusing high-water-mark
+// scratch (the mistake the real ImpairedChannel::superposeInto avoids with
+// its hot-allow'd growth).
+#include <cstddef>
+#include <vector>
+
+namespace rfid::fixture {
+
+// rfid:hot begin
+std::size_t applyImpairments(const std::vector<int>& transmissions,
+                             std::vector<int>& scratch) {
+  scratch.clear();
+  for (const int tx : transmissions) {
+    scratch.push_back(tx);  // RFID-HOT-002
+  }
+  return scratch.size();
+}
+// rfid:hot end
+
+}  // namespace rfid::fixture

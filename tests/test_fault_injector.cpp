@@ -1,0 +1,175 @@
+// FaultInjector: scripted point faults land exactly where scripted —
+// specific bit, specific transmission, specific slot — without consuming
+// any randomness, and a scripted corruption provably trips each scheme's
+// detector (QCD preamble check, CRC-CD recompute-compare).
+#include "phy/impairments/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "common/rng.hpp"
+#include "core/detection_scheme.hpp"
+#include "phy/channel.hpp"
+#include "phy/impairments/impaired_channel.hpp"
+#include "tags/population.hpp"
+
+namespace {
+
+using rfid::common::BitVec;
+using rfid::common::Rng;
+using rfid::core::CrcCdScheme;
+using rfid::core::QcdScheme;
+using rfid::phy::Fault;
+using rfid::phy::FaultInjector;
+using rfid::phy::ImpairedChannel;
+using rfid::phy::ImpairmentStats;
+using rfid::phy::OrChannel;
+using rfid::phy::Reception;
+using rfid::phy::SlotType;
+using rfid::tags::Tag;
+
+TEST(FaultInjector, FlipsExactlyTheScriptedTransmissionBit) {
+  FaultInjector inj({Fault::flipTransmissionBit(3, 1, 5)});
+  ImpairmentStats stats;
+  Rng rng(1);
+  BitVec tx(8);
+  // Wrong slot, wrong txIndex: untouched.
+  EXPECT_TRUE(inj.transmissionPass(3, 0, tx, rng, stats));
+  EXPECT_EQ(tx, BitVec(8));
+  EXPECT_TRUE(inj.transmissionPass(3, 1, tx, rng, stats));
+  BitVec expected(8);
+  expected.set(5, true);
+  EXPECT_EQ(tx, expected);
+  EXPECT_EQ(stats.faultsApplied, 1u);
+  EXPECT_EQ(stats.bitsFlippedTagToReader, 1u);
+}
+
+TEST(FaultInjector, FlipsTheScriptedReceptionBit) {
+  FaultInjector inj({Fault::flipReceptionBit(0, 2)});
+  ImpairmentStats stats;
+  Rng rng(2);
+  BitVec signal(4, true);
+  inj.receptionPass(0, signal, rng, stats);
+  BitVec expected(4, true);
+  expected.set(2, false);
+  EXPECT_EQ(signal, expected);
+  EXPECT_EQ(stats.bitsFlippedDetection, 1u);
+}
+
+TEST(FaultInjector, DropsAndErasesOnScript) {
+  FaultInjector inj({Fault::dropTransmission(1, 0), Fault::eraseSlot(4)});
+  ImpairmentStats stats;
+  Rng rng(3);
+  BitVec tx(4);
+  EXPECT_TRUE(inj.transmissionPass(0, 0, tx, rng, stats));  // nothing at 0
+  EXPECT_FALSE(inj.transmissionPass(1, 0, tx, rng, stats));
+  EXPECT_FALSE(inj.erasesSlot(2, rng, stats));
+  EXPECT_TRUE(inj.erasesSlot(4, rng, stats));
+  EXPECT_EQ(stats.faultsApplied, 2u);
+}
+
+TEST(FaultInjector, SortsArbitraryScriptOrder) {
+  // Faults handed in reverse slot order must still land: the ctor sorts
+  // and the cursor walks slots monotonically.
+  FaultInjector inj({Fault::flipReceptionBit(7, 0), Fault::eraseSlot(2),
+                     Fault::flipReceptionBit(0, 1)});
+  EXPECT_EQ(inj.faultCount(), 3u);
+  ImpairmentStats stats;
+  Rng rng(4);
+  BitVec signal(4);
+  inj.receptionPass(0, signal, rng, stats);
+  EXPECT_TRUE(signal.test(1));
+  EXPECT_TRUE(inj.erasesSlot(2, rng, stats));
+  inj.receptionPass(7, signal, rng, stats);
+  EXPECT_TRUE(signal.test(0));
+  EXPECT_EQ(stats.faultsApplied, 3u);
+}
+
+TEST(FaultInjector, OutOfRangeBitIsIgnored) {
+  FaultInjector inj({Fault::flipReceptionBit(0, 100)});
+  ImpairmentStats stats;
+  Rng rng(5);
+  BitVec signal(4);
+  inj.receptionPass(0, signal, rng, stats);
+  EXPECT_EQ(signal, BitVec(4));
+  EXPECT_EQ(stats.faultsApplied, 0u);
+}
+
+TEST(FaultInjector, ConsumesNoRandomness) {
+  // The injector composes with stochastic models without perturbing their
+  // draw sequence: it must never touch the slot rng.
+  FaultInjector inj({Fault::flipReceptionBit(0, 0), Fault::eraseSlot(1)});
+  ImpairmentStats stats;
+  Rng a(6), b(6);
+  BitVec signal(4);
+  inj.receptionPass(0, signal, a, stats);
+  inj.erasesSlot(1, a, stats);
+  BitVec tx(4);
+  inj.transmissionPass(2, 0, tx, a, stats);
+  EXPECT_EQ(a(), b());
+}
+
+// --- scripted corruption against the real detectors ------------------------
+
+TEST(FaultInjector, QcdPreambleCorruptionReadsCollided) {
+  // A clean true single classifies single; flipping one preamble bit in
+  // flight breaks exactly one c == ~r pair and the reader reads collided —
+  // the QCD detector catches the corruption instead of mis-identifying.
+  const rfid::phy::AirInterface air{};
+  const QcdScheme scheme(air, 8);
+  Rng popRng(7);
+  const std::vector<Tag> tags =
+      rfid::tags::makeUniformPopulation(1, air.idBits, popRng);
+
+  OrChannel inner;
+  ImpairedChannel clean(inner, 1);
+  ImpairedChannel faulty(inner, 1);
+  faulty.addImpairment(std::make_unique<FaultInjector>(
+      std::vector<Fault>{Fault::flipTransmissionBit(0, 0, 3)}));
+
+  Rng tagRngA(8), tagRngB(8);
+  const std::vector<BitVec> txA = {scheme.contentionSignal(tags[0], tagRngA)};
+  const std::vector<BitVec> txB = {scheme.contentionSignal(tags[0], tagRngB)};
+  ASSERT_EQ(txA[0], txB[0]);
+
+  Rng chRng(9);
+  Reception out;
+  clean.superposeInto(txA, chRng, out);
+  EXPECT_EQ(scheme.classify(out.signal, 1), SlotType::kSingle);
+  faulty.superposeInto(txB, chRng, out);
+  EXPECT_TRUE(out.corrupted);
+  EXPECT_EQ(scheme.classify(out.signal, 1), SlotType::kCollided);
+}
+
+TEST(FaultInjector, CrcContentionCorruptionReadsCollided) {
+  // CRC-CD: flipping any bit of the id ⊕ crc(id) contention signal makes
+  // the recomputed CRC disagree, so the corrupted single reads collided
+  // (up to the ~2^-32 undetected-error escape, which one scripted flip of
+  // the ID part never hits: CRC-32 detects all single-bit errors).
+  const rfid::phy::AirInterface air{};
+  const CrcCdScheme scheme(air);
+  Rng popRng(10);
+  const std::vector<Tag> tags =
+      rfid::tags::makeUniformPopulation(1, air.idBits, popRng);
+
+  OrChannel inner;
+  ImpairedChannel faulty(inner, 2);
+  // Bits [0, idBits) carry the ID, [idBits, idBits+crcBits) the code; a
+  // flip in the ID part makes the reader recompute a different CRC.
+  faulty.addImpairment(std::make_unique<FaultInjector>(
+      std::vector<Fault>{Fault::flipTransmissionBit(0, 0, 5)}));
+
+  Rng tagRng(11);
+  const std::vector<BitVec> tx = {scheme.contentionSignal(tags[0], tagRng)};
+  EXPECT_EQ(scheme.classify(tx[0], 1), SlotType::kSingle);
+
+  Rng chRng(12);
+  Reception out;
+  faulty.superposeInto(tx, chRng, out);
+  EXPECT_TRUE(out.corrupted);
+  EXPECT_EQ(scheme.classify(out.signal, 1), SlotType::kCollided);
+}
+
+}  // namespace

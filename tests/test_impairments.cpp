@@ -1,0 +1,416 @@
+// Channel impairments: BSC / Gilbert–Elliott / erasure model behavior, the
+// BER-0 bit-identity guarantee, and the ImpairedChannel decorator's
+// compaction, capture remapping, and erased/corrupted reporting.
+#include "phy/impairments/impairment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "common/rng.hpp"
+#include "phy/channel.hpp"
+#include "phy/impairments/bsc.hpp"
+#include "phy/impairments/erasure.hpp"
+#include "phy/impairments/fault_injector.hpp"
+#include "phy/impairments/gilbert_elliott.hpp"
+#include "phy/impairments/impaired_channel.hpp"
+
+namespace {
+
+using rfid::common::BitVec;
+using rfid::common::Rng;
+using rfid::phy::BscImpairment;
+using rfid::phy::ErasureImpairment;
+using rfid::phy::Fault;
+using rfid::phy::FaultInjector;
+using rfid::phy::flipBitsIid;
+using rfid::phy::GilbertElliottImpairment;
+using rfid::phy::ImpairedChannel;
+using rfid::phy::ImpairmentConfig;
+using rfid::phy::ImpairmentModel;
+using rfid::phy::ImpairmentStats;
+using rfid::phy::impairmentStreamSeed;
+using rfid::phy::makeImpairment;
+using rfid::phy::OrChannel;
+using rfid::phy::parseImpairmentModel;
+using rfid::phy::Reception;
+
+// --- flipBitsIid -----------------------------------------------------------
+
+TEST(FlipBitsIid, ZeroRateDrawsNothing) {
+  BitVec v = Rng(1).bitvec(64);
+  const BitVec before = v;
+  Rng a(42), b(42);
+  EXPECT_EQ(flipBitsIid(v, 0.0, a), 0u);
+  EXPECT_EQ(v, before);
+  // No draw consumed: the next value matches a virgin stream's.
+  EXPECT_EQ(a(), b());
+}
+
+TEST(FlipBitsIid, CertainRateFlipsEveryBit) {
+  BitVec v = Rng(2).bitvec(32);
+  BitVec expected(32);
+  for (std::size_t i = 0; i < 32; ++i) expected.set(i, !v.test(i));
+  Rng rng(7);
+  EXPECT_EQ(flipBitsIid(v, 1.0, rng), 32u);
+  EXPECT_EQ(v, expected);
+}
+
+TEST(FlipBitsIid, RateMatchesProbability) {
+  Rng rng(3);
+  std::uint64_t flips = 0;
+  constexpr int kTrials = 500;
+  for (int t = 0; t < kTrials; ++t) {
+    BitVec v(64);
+    flips += flipBitsIid(v, 0.25, rng);
+  }
+  EXPECT_NEAR(static_cast<double>(flips) / (64.0 * kTrials), 0.25, 0.02);
+}
+
+// --- stochastic models -----------------------------------------------------
+
+TEST(BscImpairment, FlipsBothLegsAndBooksStats) {
+  BscImpairment bsc(1.0, 1.0);
+  ImpairmentStats stats;
+  Rng rng(4);
+  BitVec tx(16);
+  EXPECT_TRUE(bsc.transmissionPass(0, 0, tx, rng, stats));
+  EXPECT_EQ(tx, BitVec(16, true));
+  EXPECT_EQ(stats.bitsFlippedTagToReader, 16u);
+  BitVec signal(8, true);
+  bsc.receptionPass(0, signal, rng, stats);
+  EXPECT_EQ(signal, BitVec(8));
+  EXPECT_EQ(stats.bitsFlippedDetection, 8u);
+  EXPECT_EQ(stats.bitsFlipped(), 24u);
+}
+
+TEST(BscImpairment, ZeroRateConsumesNoRandomness) {
+  BscImpairment bsc(0.0, 0.0);
+  ImpairmentStats stats;
+  Rng a(9), b(9);
+  BitVec tx = Rng(5).bitvec(32);
+  const BitVec before = tx;
+  EXPECT_TRUE(bsc.transmissionPass(0, 0, tx, a, stats));
+  bsc.receptionPass(0, tx, a, stats);
+  EXPECT_EQ(tx, before);
+  EXPECT_EQ(stats.bitsFlipped(), 0u);
+  EXPECT_EQ(a(), b());
+}
+
+TEST(GilbertElliott, ZeroParametersPerturbNothingAndDrawNothing) {
+  GilbertElliottImpairment ge(0.0, 0.0, 0.0, 0.0);
+  ImpairmentStats stats;
+  Rng a(11), b(11);
+  BitVec tx = Rng(6).bitvec(24);
+  const BitVec before = tx;
+  EXPECT_TRUE(ge.transmissionPass(0, 0, tx, a, stats));
+  EXPECT_EQ(tx, before);
+  EXPECT_FALSE(ge.inBadState());
+  EXPECT_EQ(a(), b());
+}
+
+TEST(GilbertElliott, BadStateBurstsFlipEverything) {
+  // Certain good→bad transition with a certain bad flip rate: the first bit
+  // enters the bad state and every bit flips from then on; badToGood = 0
+  // keeps the burst alive across transmissions (state persists).
+  GilbertElliottImpairment ge(1.0, 0.0, 0.0, 1.0);
+  ImpairmentStats stats;
+  Rng rng(12);
+  BitVec tx(16);
+  EXPECT_TRUE(ge.transmissionPass(0, 0, tx, rng, stats));
+  EXPECT_EQ(tx, BitVec(16, true));
+  EXPECT_TRUE(ge.inBadState());
+  BitVec tx2(8);
+  EXPECT_TRUE(ge.transmissionPass(1, 0, tx2, rng, stats));
+  EXPECT_EQ(tx2, BitVec(8, true));
+  EXPECT_EQ(stats.bitsFlippedTagToReader, 24u);
+}
+
+TEST(GilbertElliott, BurstsAreClustered) {
+  // A bursty channel at the same average rate as a BSC should produce
+  // runs: with rare transitions and a high bad-state rate, flips should
+  // arrive adjacent far more often than i.i.d. flips at the marginal rate.
+  GilbertElliottImpairment ge(0.01, 0.2, 0.0, 0.5);
+  ImpairmentStats stats;
+  Rng rng(13);
+  std::size_t adjacentPairs = 0;
+  std::uint64_t flips = 0;
+  for (int t = 0; t < 200; ++t) {
+    BitVec tx(128);
+    ge.transmissionPass(static_cast<std::uint64_t>(t), 0, tx, rng, stats);
+    for (std::size_t i = 0; i + 1 < tx.size(); ++i) {
+      if (tx.test(i) && tx.test(i + 1)) ++adjacentPairs;
+    }
+  }
+  flips = stats.bitsFlippedTagToReader;
+  ASSERT_GT(flips, 0u);
+  // i.i.d. at the same marginal rate p would give ~p² per adjacent pair;
+  // bursts give ~p·P(stay bad)·0.5, an order of magnitude more.
+  const double p =
+      static_cast<double>(flips) / (200.0 * 128.0);
+  const double pairRate =
+      static_cast<double>(adjacentPairs) / (200.0 * 127.0);
+  EXPECT_GT(pairRate, 3.0 * p * p);
+}
+
+TEST(ErasureImpairment, CertainLossDropsEveryReply) {
+  ErasureImpairment erasure(1.0, 0.0);
+  ImpairmentStats stats;
+  Rng rng(14);
+  BitVec tx(8, true);
+  EXPECT_FALSE(erasure.transmissionPass(0, 0, tx, rng, stats));
+  EXPECT_FALSE(erasure.erasesSlot(0, rng, stats));
+}
+
+TEST(ErasureImpairment, CertainFadeErasesEverySlot) {
+  ErasureImpairment erasure(0.0, 1.0);
+  ImpairmentStats stats;
+  Rng rng(15);
+  EXPECT_TRUE(erasure.erasesSlot(0, rng, stats));
+  BitVec tx(8, true);
+  EXPECT_TRUE(erasure.transmissionPass(0, 0, tx, rng, stats));
+}
+
+// --- config / factory / parsing -------------------------------------------
+
+TEST(ImpairmentConfig, FactoryBuildsSelectedModel) {
+  ImpairmentConfig cfg;
+  EXPECT_EQ(makeImpairment(cfg), nullptr);
+  EXPECT_FALSE(cfg.enabled());
+  cfg.model = ImpairmentModel::kBsc;
+  EXPECT_TRUE(cfg.enabled());
+  EXPECT_EQ(makeImpairment(cfg)->name(), "bsc");
+  cfg.model = ImpairmentModel::kGilbertElliott;
+  EXPECT_EQ(makeImpairment(cfg)->name(), "ge");
+  cfg.model = ImpairmentModel::kErasure;
+  EXPECT_EQ(makeImpairment(cfg)->name(), "erasure");
+}
+
+TEST(ImpairmentConfig, ParseRoundTrips) {
+  for (const ImpairmentModel m :
+       {ImpairmentModel::kNone, ImpairmentModel::kBsc,
+        ImpairmentModel::kGilbertElliott, ImpairmentModel::kErasure}) {
+    const auto parsed = parseImpairmentModel(rfid::phy::toString(m));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, m);
+  }
+  EXPECT_EQ(parseImpairmentModel("ge"), ImpairmentModel::kGilbertElliott);
+  EXPECT_FALSE(parseImpairmentModel("awgn").has_value());
+}
+
+TEST(ImpairmentStats, AccumulateAcrossRounds) {
+  ImpairmentStats a;
+  a.slots = 3;
+  a.bitsFlippedTagToReader = 5;
+  ImpairmentStats b;
+  b.slots = 2;
+  b.bitsFlippedDetection = 7;
+  b.faultsApplied = 1;
+  a += b;
+  EXPECT_EQ(a.slots, 5u);
+  EXPECT_EQ(a.bitsFlipped(), 12u);
+  EXPECT_EQ(a.faultsApplied, 1u);
+}
+
+TEST(ImpairmentStreamSeed, DisjointPerRoundAndDeterministic) {
+  const std::uint64_t s0 = impairmentStreamSeed(20100913, 0);
+  const std::uint64_t s1 = impairmentStreamSeed(20100913, 1);
+  EXPECT_NE(s0, s1);
+  EXPECT_EQ(s0, impairmentStreamSeed(20100913, 0));
+  // Disjoint from the simulation's own round streams: the impairment seed
+  // for round k must not collide with what Rng::forStream(seed, k) yields.
+  Rng round0 = Rng::forStream(20100913, 0);
+  EXPECT_NE(s0, round0());
+}
+
+// --- ImpairedChannel -------------------------------------------------------
+
+TEST(ImpairedChannel, NoImpairmentsIsTransparent) {
+  OrChannel bare, inner;
+  ImpairedChannel wrapped(inner, 99);
+  Rng a(21), b(21);
+  const std::vector<BitVec> tx = {BitVec::fromString("011001"),
+                                  BitVec::fromString("010010")};
+  Reception fromBare, fromWrapped;
+  bare.superposeInto(tx, a, fromBare);
+  wrapped.superposeInto(tx, b, fromWrapped);
+  EXPECT_EQ(fromBare.signal, fromWrapped.signal);
+  EXPECT_EQ(fromBare.capturedIndex, fromWrapped.capturedIndex);
+  EXPECT_FALSE(fromWrapped.erased);
+  EXPECT_FALSE(fromWrapped.corrupted);
+  EXPECT_EQ(wrapped.stats().slots, 0u);  // passthrough books nothing
+}
+
+TEST(ImpairedChannel, ZeroRateBscIsBitIdenticalToBareChannel) {
+  // The BER-0 guarantee at the channel level: a zero-rate model goes
+  // through the full copy/compact path yet changes nothing — and consumes
+  // nothing from the caller's rng beyond what the inner channel does.
+  OrChannel bare, inner;
+  ImpairedChannel wrapped(inner, 123);
+  ImpairmentConfig cfg;
+  cfg.model = ImpairmentModel::kBsc;
+  ASSERT_TRUE(wrapped.addImpairment(cfg));
+  Rng a(31), b(31), gen(17);
+  Reception fromBare, fromWrapped;
+  for (int t = 0; t < 100; ++t) {
+    const std::size_t m = gen.below(5);
+    std::vector<BitVec> tx;
+    for (std::size_t i = 0; i < m; ++i) tx.push_back(gen.bitvec(16));
+    bare.superposeInto(tx, a, fromBare);
+    wrapped.superposeInto(tx, b, fromWrapped);
+    ASSERT_EQ(fromBare.signal, fromWrapped.signal) << "t = " << t;
+    ASSERT_EQ(fromBare.capturedIndex, fromWrapped.capturedIndex);
+    ASSERT_FALSE(fromWrapped.erased);
+    ASSERT_FALSE(fromWrapped.corrupted);
+  }
+  EXPECT_EQ(a(), b());
+  EXPECT_EQ(wrapped.stats().bitsFlipped(), 0u);
+  EXPECT_EQ(wrapped.stats().transmissionsDropped, 0u);
+}
+
+TEST(ImpairedChannel, DropCompactsAndRemapsCapture) {
+  // Drop reply 0 of a two-tag collision: the inner channel sees a lone
+  // survivor and captures it at compacted index 0; the wrapper must remap
+  // that back to the caller's index 1, uncorrupted.
+  OrChannel inner;
+  ImpairedChannel wrapped(inner, 7);
+  wrapped.addImpairment(std::make_unique<FaultInjector>(
+      std::vector<Fault>{Fault::dropTransmission(0, 0)}));
+  Rng rng(41);
+  const std::vector<BitVec> tx = {BitVec::fromString("1100"),
+                                  BitVec::fromString("0011")};
+  Reception out;
+  wrapped.superposeInto(tx, rng, out);
+  ASSERT_TRUE(out.signal.has_value());
+  EXPECT_EQ(out.signal->toString(), "0011");
+  ASSERT_TRUE(out.capturedIndex.has_value());
+  EXPECT_EQ(*out.capturedIndex, 1u);
+  EXPECT_FALSE(out.erased);
+  EXPECT_FALSE(out.corrupted);
+  EXPECT_EQ(wrapped.stats().transmissionsDropped, 1u);
+}
+
+TEST(ImpairedChannel, AllRepliesDroppedReadsErased) {
+  OrChannel inner;
+  ImpairedChannel wrapped(inner, 7);
+  ImpairmentConfig cfg;
+  cfg.model = ImpairmentModel::kErasure;
+  cfg.transmissionLoss = 1.0;
+  ASSERT_TRUE(wrapped.addImpairment(cfg));
+  Rng rng(42);
+  const std::vector<BitVec> tx = {BitVec(4, true), BitVec(4, true)};
+  Reception out;
+  wrapped.superposeInto(tx, rng, out);
+  EXPECT_TRUE(out.erased);
+  EXPECT_FALSE(out.capturedIndex.has_value());
+  EXPECT_EQ(wrapped.stats().slotsErased, 1u);
+  EXPECT_EQ(wrapped.stats().transmissionsDropped, 2u);
+}
+
+TEST(ImpairedChannel, DeepFadeErasesWithoutTouchingReplies) {
+  OrChannel inner;
+  ImpairedChannel wrapped(inner, 7);
+  ImpairmentConfig cfg;
+  cfg.model = ImpairmentModel::kErasure;
+  cfg.slotFade = 1.0;
+  ASSERT_TRUE(wrapped.addImpairment(cfg));
+  Rng rng(43);
+  const std::vector<BitVec> tx = {BitVec(4, true)};
+  Reception out;
+  wrapped.superposeInto(tx, rng, out);
+  EXPECT_TRUE(out.erased);
+  EXPECT_EQ(wrapped.stats().slotsErased, 1u);
+  EXPECT_EQ(wrapped.stats().transmissionsDropped, 0u);
+}
+
+TEST(ImpairedChannel, CorruptedCaptureIsFlagged) {
+  OrChannel inner;
+  ImpairedChannel wrapped(inner, 7);
+  wrapped.addImpairment(std::make_unique<FaultInjector>(
+      std::vector<Fault>{Fault::flipTransmissionBit(0, 0, 2)}));
+  Rng rng(44);
+  const std::vector<BitVec> tx = {BitVec::fromString("0000")};
+  Reception out;
+  wrapped.superposeInto(tx, rng, out);
+  ASSERT_TRUE(out.capturedIndex.has_value());
+  // Bit index 2 is the third-lowest bit: string position 1 of 4.
+  EXPECT_EQ(out.signal->toString(), "0100");
+  EXPECT_TRUE(out.corrupted);
+}
+
+TEST(ImpairedChannel, ReceptionFlipAlsoFlagsCorruption) {
+  OrChannel inner;
+  ImpairedChannel wrapped(inner, 7);
+  wrapped.addImpairment(std::make_unique<FaultInjector>(
+      std::vector<Fault>{Fault::flipReceptionBit(0, 0)}));
+  Rng rng(45);
+  const std::vector<BitVec> tx = {BitVec::fromString("0110"),
+                                  BitVec::fromString("0011")};
+  Reception out;
+  wrapped.superposeInto(tx, rng, out);
+  // OR gives 0111; flipping bit 0 (the rightmost character) clears it.
+  EXPECT_EQ(out.signal->toString(), "0110");
+  EXPECT_TRUE(out.corrupted);
+}
+
+TEST(ImpairedChannel, BeginSlotKeysTheImpairmentStream) {
+  // Replaying the same slot index must replay the same flips regardless of
+  // how many calls happened in between — the stream is keyed to the
+  // engine's counter, not a private call count (RFID-DET-001).
+  OrChannel innerA, innerB;
+  ImpairedChannel a(innerA, 555), b(innerB, 555);
+  ImpairmentConfig cfg;
+  cfg.model = ImpairmentModel::kBsc;
+  cfg.tagToReaderBer = 0.2;
+  cfg.detectionBer = 0.1;
+  a.addImpairment(cfg);
+  b.addImpairment(cfg);
+  Rng gen(51);
+  const std::vector<BitVec> tx = {gen.bitvec(32), gen.bitvec(32)};
+
+  Rng rngA(1), rngB(1);
+  Reception outA, outB;
+  // Channel a sees slots 5, 9; channel b sees slot 9 only: slot 9 must
+  // come out identical on both.
+  a.beginSlot(5);
+  a.superposeInto(tx, rngA, outA);
+  a.beginSlot(9);
+  a.superposeInto(tx, rngA, outA);
+  b.beginSlot(9);
+  b.superposeInto(tx, rngB, outB);
+  EXPECT_EQ(outA.signal, outB.signal);
+  EXPECT_EQ(outA.capturedIndex, outB.capturedIndex);
+  EXPECT_EQ(outA.corrupted, outB.corrupted);
+}
+
+TEST(ImpairedChannel, SameSeedReplaysIdentically) {
+  OrChannel innerA, innerB;
+  ImpairedChannel a(innerA, 77), b(innerB, 77);
+  ImpairmentConfig cfg;
+  cfg.model = ImpairmentModel::kBsc;
+  cfg.tagToReaderBer = 0.05;
+  cfg.detectionBer = 0.05;
+  a.addImpairment(cfg);
+  b.addImpairment(cfg);
+  Rng genA(61), genB(61), rngA(2), rngB(2);
+  for (int t = 0; t < 50; ++t) {
+    const std::size_t m = 1 + genA.below(4);
+    genB.below(4);
+    std::vector<BitVec> txA, txB;
+    for (std::size_t i = 0; i < m; ++i) {
+      txA.push_back(genA.bitvec(24));
+      txB.push_back(genB.bitvec(24));
+    }
+    Reception outA, outB;
+    a.superposeInto(txA, rngA, outA);
+    b.superposeInto(txB, rngB, outB);
+    ASSERT_EQ(outA.signal, outB.signal) << "t = " << t;
+    ASSERT_EQ(outA.capturedIndex, outB.capturedIndex);
+    ASSERT_EQ(outA.corrupted, outB.corrupted);
+    ASSERT_EQ(outA.erased, outB.erased);
+  }
+  EXPECT_EQ(a.stats().bitsFlipped(), b.stats().bitsFlipped());
+}
+
+}  // namespace

@@ -24,6 +24,7 @@ FIXTURES = REPO / "tests" / "lint_fixtures"
 EXPECTED = {
     "src/sim/det_rand.cpp": "RFID-DET-001",
     "src/core/hot_alloc.cpp": "RFID-HOT-002",
+    "src/phy/impair_hot_alloc.cpp": "RFID-HOT-002",
     "src/core/hot_unbalanced.cpp": "RFID-HOT-002",
     "src/sim/io_cout.cpp": "RFID-IO-003",
     "src/phy/naked_thread.cpp": "RFID-THR-004",

@@ -192,6 +192,46 @@ TEST(RunReport, GoldenServiceSection) {
   EXPECT_LT(json.find("\"service\""), json.find("\"registry\""));
 }
 
+TEST(RunReport, GoldenChannelSection) {
+  // The optional "channel" section (impairment-config echo + detection
+  // confusion matrix) is pinned byte-for-byte; reports that never touch
+  // the channel setters must omit it (GoldenEmptyReport covers that side).
+  RunReport r("chan", "");
+  EXPECT_FALSE(r.hasChannelSection());
+  r.setChannelImpairment("model", std::string("bsc"));
+  r.setChannelImpairment("ber", 0.001);
+  r.setChannelConfusion({{{100, 1, 0}, {2, 90, 8}, {0, 3, 60}}});
+  EXPECT_TRUE(r.hasChannelSection());
+
+  const std::string json = r.json();
+  const std::string expected =
+      "  \"channel\": {\n"
+      "    \"impairment\": {\n"
+      "      \"ber\": \"0.001\",\n"
+      "      \"model\": \"bsc\"\n"
+      "    },\n"
+      "    \"confusion\": {\n"
+      "      \"true_idle\": [100, 1, 0],\n"
+      "      \"true_single\": [2, 90, 8],\n"
+      "      \"true_collided\": [0, 3, 60]\n"
+      "    }\n"
+      "  },\n";
+  EXPECT_NE(json.find(expected), std::string::npos) << json;
+  // Placement: after "tables" (and any "service"), before "registry".
+  EXPECT_LT(json.find("\"tables\""), json.find("\"channel\""));
+  EXPECT_LT(json.find("\"channel\""), json.find("\"registry\""));
+}
+
+TEST(RunReport, ChannelSectionEmptyImpairmentMap) {
+  // Setting only the confusion matrix still produces a valid section with
+  // an empty impairment object ("{}"), not a dangling comma.
+  RunReport r("chan", "");
+  r.setChannelConfusion({});
+  const std::string json = r.json();
+  EXPECT_NE(json.find("\"impairment\": {},\n"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"true_idle\": [0, 0, 0]"), std::string::npos);
+}
+
 TEST(RunReport, DetachedRegistrySerializesEmpty) {
   RunReport r("b", "p");
   MetricsRegistry reg;
