@@ -1,7 +1,7 @@
 // Slot hot-path microbench: legacy allocating slot loop vs
-// SlotEngine::runSlot on an identical slot schedule.
+// SlotEngine::runSlot vs the batched kernel on an identical slot schedule.
 //
-// Four claims are checked, not just measured:
+// Six claims are checked, not just measured:
 //   1. steady-state slots through the engine perform ZERO heap allocations
 //      (counted by replacing global operator new/delete) — the process exits
 //      nonzero if any slip in;
@@ -12,7 +12,12 @@
 //      both legs) — the impairment apply path reuses high-water-mark
 //      scratch after warmup;
 //   4. the in-place path is faster than the legacy one (both slots/sec are
-//      reported; the driver compares against the >= 2x acceptance bar).
+//      reported; the driver compares against the >= 2x acceptance bar);
+//   5. the batched kernel (SlotEngine::runSlotsBatch over a TagSoA snapshot
+//      and CSR slot batches) is likewise allocation-free at steady state;
+//   6. the batch pass produces metrics BIT-IDENTICAL to the per-slot hot
+//      pass on the same schedule and seed (the equivalence contract), while
+//      clearing the >= 3x batch_speedup_vs_hot acceptance bar.
 // Results land in BENCH_slot.json (rfid-run-report/1 schema) in the working
 // directory; RFID_JSON overrides the path.
 #include <atomic>
@@ -33,6 +38,7 @@
 #include "phy/impairments/impairment.hpp"
 #include "sim/engine.hpp"
 #include "sim/metrics.hpp"
+#include "sim/tag_soa.hpp"
 #include "sim/trace.hpp"
 #include "tags/population.hpp"
 
@@ -121,14 +127,33 @@ double secondsSince(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+/// Exact equality of everything two passes over the same schedule must
+/// share — the batch-vs-scalar equivalence contract, doubles included.
+bool metricsMatch(const Metrics& a, const Metrics& b) {
+  const auto censusEqual = [](const rfid::sim::SlotCensus& x,
+                              const rfid::sim::SlotCensus& y) {
+    return x.idle == y.idle && x.single == y.single &&
+           x.collided == y.collided;
+  };
+  return censusEqual(a.trueCensus(), b.trueCensus()) &&
+         censusEqual(a.detectedCensus(), b.detectedCensus()) &&
+         a.confusion() == b.confusion() &&
+         a.totalAirtimeMicros() == b.totalAirtimeMicros() &&
+         a.nowMicros() == b.nowMicros() && a.identified() == b.identified() &&
+         a.correctlyIdentified() == b.correctlyIdentified() &&
+         a.phantoms() == b.phantoms() && a.lostTags() == b.lostTags() &&
+         a.delaysMicros() == b.delaysMicros();
+}
+
 }  // namespace
 
 int main() {
   rfid::bench::initObservability(
       "microbench_slot",
       "slot hot path: zero steady-state heap allocations (with and without "
-      "the metrics registry attached) and >= 2x slots/sec over the legacy "
-      "allocating loop",
+      "the metrics registry attached), >= 2x slots/sec over the legacy "
+      "allocating loop, and a batched kernel >= 3x over the per-slot hot "
+      "path with bit-identical metrics",
       /*defaultJsonPath=*/"BENCH_slot.json");
   // A mixed schedule: idle slots, lone responders, small and large
   // collisions — the shapes every protocol produces.
@@ -171,11 +196,14 @@ int main() {
   }
 
   // --- engine hot path ----------------------------------------------------
+  // hotMetrics outlives the block: the batch pass below must reproduce it
+  // bit-for-bit (same schedule, same seed, same RNG draw order).
   double hotSlotsPerSec = 0.0;
   std::uint64_t hotAllocs = 0;
+  Metrics hotMetrics;
   {
     std::vector<Tag> tags = initialTags;
-    Metrics metrics;
+    Metrics& metrics = hotMetrics;
     metrics.reserveIdentifications(2 * kMeasuredSlots);
     SlotEngine engine(scheme, channel, metrics);
     Rng rng(kSeed);
@@ -256,6 +284,69 @@ int main() {
     impairedSlotsPerSec = static_cast<double>(kMeasuredSlots) / elapsed;
   }
 
+  // --- batched kernel ------------------------------------------------------
+  // Same schedule, same seed, but driven through runSlotsBatch: the TagSoA
+  // snapshot is gathered once, the schedule is tiled into a CSR batch, and
+  // each kernel call superposes/classifies a couple thousand slots at word
+  // granularity before the sequential commit loop. The resulting Metrics
+  // must equal the per-slot hot pass exactly — speed with a proof of
+  // equivalence attached.
+  double batchSlotsPerSec = 0.0;
+  std::uint64_t batchAllocs = 0;
+  bool batchMatchesHot = false;
+  {
+    std::vector<Tag> tags = initialTags;
+    Metrics metrics;
+    metrics.reserveIdentifications(2 * kMeasuredSlots);
+    SlotEngine engine(scheme, channel, metrics);
+    Rng rng(kSeed);
+    rfid::sim::TagSoA soa;
+    soa.gather(tags, scheme);
+
+    // CSR tile: kTileReps repetitions of the schedule per kernel call.
+    constexpr std::size_t kTileReps = 200;  // 2000 slots per call
+    std::vector<std::uint32_t> responders;
+    std::vector<std::uint32_t> offsets;
+    offsets.push_back(0);
+    for (std::size_t rep = 0; rep < kTileReps; ++rep) {
+      for (const auto& slot : kSchedule) {
+        for (const std::size_t idx : slot) {
+          responders.push_back(static_cast<std::uint32_t>(idx));
+        }
+        offsets.push_back(static_cast<std::uint32_t>(responders.size()));
+      }
+    }
+    const std::size_t slotsPerTile = kSchedule.size() * kTileReps;
+    if (kMeasuredSlots % slotsPerTile != 0) {
+      std::fprintf(stderr, "FAIL: tile size must divide kMeasuredSlots\n");
+      return 1;
+    }
+    const rfid::sim::SlotBatch tile{responders, offsets};
+    // Warmup: exactly the 10-slot prefix the per-slot passes run, so the
+    // metrics streams stay aligned (and the engine scratch reaches its
+    // high-water marks before counting allocations).
+    const rfid::sim::SlotBatch warmupTile{
+        std::span<const std::uint32_t>(responders)
+            .first(offsets[kSchedule.size()]),
+        std::span<const std::uint32_t>(offsets).first(kSchedule.size() + 1)};
+    engine.runSlotsBatch(tags, soa, warmupTile, rng);
+    // The first full tile grows the engine scratch to its high-water marks;
+    // it still counts toward the 1M-slot total (keeping metrics parity with
+    // the hot pass) but sits outside the timed/alloc-counted window.
+    engine.runSlotsBatch(tags, soa, tile, rng);
+    const std::size_t timedSlots = kMeasuredSlots - slotsPerTile;
+    const std::uint64_t allocsBefore =
+        gAllocCount.load(std::memory_order_relaxed);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t call = 1; call < kMeasuredSlots / slotsPerTile; ++call) {
+      engine.runSlotsBatch(tags, soa, tile, rng);
+    }
+    const double elapsed = secondsSince(t0);
+    batchAllocs = gAllocCount.load(std::memory_order_relaxed) - allocsBefore;
+    batchSlotsPerSec = static_cast<double>(timedSlots) / elapsed;
+    batchMatchesHot = metricsMatch(metrics, hotMetrics);
+  }
+
   const double speedup = hotSlotsPerSec / legacySlotsPerSec;
   std::printf("legacy : %12.0f slots/sec  (%llu allocs / %zu slots)\n",
               legacySlotsPerSec, static_cast<unsigned long long>(legacyAllocs),
@@ -269,7 +360,13 @@ int main() {
   std::printf("engine+impair : %5.0f slots/sec  (%llu allocs / %zu slots)\n",
               impairedSlotsPerSec,
               static_cast<unsigned long long>(impairedAllocs), kMeasuredSlots);
-  std::printf("speedup: %.2fx\n", speedup);
+  const double batchSpeedup = batchSlotsPerSec / hotSlotsPerSec;
+  std::printf("batch  : %12.0f slots/sec  (%llu allocs / %zu slots, "
+              "metrics %s hot path)\n",
+              batchSlotsPerSec, static_cast<unsigned long long>(batchAllocs),
+              kMeasuredSlots, batchMatchesHot ? "==" : "!=");
+  std::printf("speedup: %.2fx   batch speedup vs hot: %.2fx\n", speedup,
+              batchSpeedup);
 
   auto& rep = rfid::bench::report();
   rep.addResult("legacy_slots_per_sec", std::nullopt, std::nullopt,
@@ -290,18 +387,34 @@ int main() {
                    /*closedForm=*/0.0, static_cast<double>(impairedAllocs));
   rep.addResult("impaired_slots_per_sec", std::nullopt, std::nullopt,
                    impairedSlotsPerSec);
+  rep.addResult("batch_slots_per_sec", std::nullopt, std::nullopt,
+                   batchSlotsPerSec);
+  rep.addResult("batch_speedup_vs_hot", /*paper=*/std::nullopt,
+                   /*closedForm=*/3.0, batchSpeedup);
+  rep.addResult("steady_state_allocs_batch", std::nullopt,
+                   /*closedForm=*/0.0, static_cast<double>(batchAllocs));
+  rep.addResult("batch_matches_hot_metrics", std::nullopt,
+                   /*closedForm=*/1.0, batchMatchesHot ? 1.0 : 0.0);
   rep.addResult("slots_measured", std::nullopt, std::nullopt,
                    static_cast<double>(kMeasuredSlots));
   rfid::bench::printFooter();
 
-  if (hotAllocs != 0 || observedAllocs != 0 || impairedAllocs != 0) {
+  if (hotAllocs != 0 || observedAllocs != 0 || impairedAllocs != 0 ||
+      batchAllocs != 0) {
     std::fprintf(stderr,
                  "FAIL: engine hot path performed %llu (+%llu with registry, "
-                 "+%llu with impairments) heap allocations at steady state "
-                 "(expected 0)\n",
+                 "+%llu with impairments, +%llu batched) heap allocations at "
+                 "steady state (expected 0)\n",
                  static_cast<unsigned long long>(hotAllocs),
                  static_cast<unsigned long long>(observedAllocs),
-                 static_cast<unsigned long long>(impairedAllocs));
+                 static_cast<unsigned long long>(impairedAllocs),
+                 static_cast<unsigned long long>(batchAllocs));
+    return 1;
+  }
+  if (!batchMatchesHot) {
+    std::fprintf(stderr,
+                 "FAIL: batched kernel metrics diverged from the per-slot hot "
+                 "path on the same schedule and seed\n");
     return 1;
   }
   return 0;

@@ -23,6 +23,12 @@ compilers and sanitizers cannot see:
   RFID-NOLINT-005  Suppressions must be justified: every NOLINT /
                 NOLINTNEXTLINE / NOLINTBEGIN must name a check and carry
                 a reason: `// NOLINT(check-name): why`.
+  RFID-HOT-006  Hot-region coverage: every slot-kernel file (the scalar
+                engine, the batch kernel, and the packed encode/classify
+                primitives they call) must contain at least one
+                `// rfid:hot begin` region — otherwise RFID-HOT-002 has
+                nothing to scan and the zero-alloc contract silently
+                stops being checked for that kernel.
 
 Usage:
     python3 scripts/check_invariants.py [--project-root DIR] [ROOT...]
@@ -133,6 +139,23 @@ RULES = {
         "scope": ["src/", "bench/", "examples/", "tests/"],
         "allow": {},
         "patterns": [],  # handled specially: scans comment text
+    },
+    "RFID-HOT-006": {
+        "title": "slot-kernel files must carry `rfid:hot` coverage",
+        "scope": ["src/"],
+        "allow": {},
+        "patterns": [],  # handled specially: requires >= 1 hot region
+        # The slot hot path's kernel files. A file listed here with no
+        # `// rfid:hot begin` region fails: RFID-HOT-002 only scans inside
+        # regions, so an unmarked kernel is an unchecked kernel.
+        "required_files": [
+            "src/sim/engine.cpp",
+            "src/sim/engine_batch.cpp",
+            "src/core/detection_scheme.cpp",
+            "src/core/qcd.cpp",
+            "src/crc/crc.cpp",
+            "src/phy/channel.cpp",
+        ],
     },
 }
 
@@ -312,6 +335,17 @@ def lint_file(path: Path, relpath: str) -> list[tuple[str, int, str, str]]:
             out.append((relpath, hot_open_line, "RFID-HOT-002",
                         "`rfid:hot begin` region never closed "
                         "(missing `// rfid:hot end`)"))
+
+    # RFID-HOT-006: kernel files must contain at least one hot region so
+    # RFID-HOT-002 actually covers them.
+    coverage_rule = RULES["RFID-HOT-006"]
+    if (relpath in coverage_rule["required_files"]
+            and rule_applies(coverage_rule, relpath)):
+        if not any(HOT_BEGIN.search(m) for m in comment_lines):
+            out.append((relpath, 1, "RFID-HOT-006",
+                        "slot-kernel file has no `// rfid:hot begin` region; "
+                        "the zero-alloc hot-path check is not covering this "
+                        "kernel"))
 
     # RFID-NOLINT-005: every suppression names a check and carries a reason.
     nolint_rule = RULES["RFID-NOLINT-005"]

@@ -1,6 +1,7 @@
 #include "anticollision/dfsa.hpp"
 
 #include <algorithm>
+#include <span>
 
 #include "common/require.hpp"
 
@@ -27,6 +28,12 @@ std::string DynamicFsa::name() const {
 bool DynamicFsa::run(sim::SlotEngine& engine, std::span<tags::Tag> tags,
                      common::Rng& rng) {
   const std::vector<std::size_t> blockers = blockerIndices(tags);
+  // Frame scratch, reused across frames (the engine-owned-scratch pattern):
+  // `buckets` grows to the high-water frame size and each inner vector keeps
+  // its storage — clear() instead of assign(frameSize, {}), which destroyed
+  // and reallocated every bucket each frame. `responders` is only needed
+  // when blockers must be appended; without blockers the slot runs straight
+  // off the bucket, avoiding the per-slot copy-assignment.
   std::vector<std::vector<std::size_t>> buckets;
   std::vector<std::size_t> responders;
   std::size_t frameSize = initialFrame_;
@@ -38,7 +45,12 @@ bool DynamicFsa::run(sim::SlotEngine& engine, std::span<tags::Tag> tags,
     const std::vector<std::size_t> active = activeTagIndices(tags);
     const bool anyResponse = !active.empty() || !blockers.empty();
     engine.metrics().recordFrame();
-    buckets.assign(frameSize, {});
+    if (buckets.size() < frameSize) {
+      buckets.resize(frameSize);
+    }
+    for (std::size_t s = 0; s < frameSize; ++s) {
+      buckets[s].clear();
+    }
     for (const std::size_t idx : active) {
       const auto slot = static_cast<std::uint32_t>(rng.below(frameSize));
       tags[idx].slotChoice = slot;
@@ -51,9 +63,15 @@ bool DynamicFsa::run(sim::SlotEngine& engine, std::span<tags::Tag> tags,
       if (slotsUsed++ >= maxSlots()) {
         return false;
       }
-      responders = buckets[s];
-      responders.insert(responders.end(), blockers.begin(), blockers.end());
-      switch (engine.runSlot(tags, responders, rng)) {
+      std::span<const std::size_t> slotResponders = buckets[s];
+      if (!blockers.empty()) {
+        responders.clear();
+        responders.insert(responders.end(), buckets[s].begin(),
+                          buckets[s].end());
+        responders.insert(responders.end(), blockers.begin(), blockers.end());
+        slotResponders = responders;
+      }
+      switch (engine.runSlot(tags, slotResponders, rng)) {
         case phy::SlotType::kIdle:
           ++census.idle;
           break;

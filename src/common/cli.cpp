@@ -1,5 +1,7 @@
 #include "common/cli.hpp"
 
+#include <array>
+#include <cctype>
 #include <charconv>
 #include <cstdlib>
 #include <iostream>
@@ -10,6 +12,18 @@
 namespace rfid::common {
 
 namespace {
+
+/// Shortest round-trip rendering of a double (std::to_chars): the stored
+/// text parses back to exactly the same value. The former ostringstream
+/// path used the default 6-significant-digit precision, so --c=0.123456789
+/// was silently truncated to 0.123457 between assign() and getDouble().
+std::string formatDouble(double value) {
+  std::array<char, 32> buf{};
+  const auto [ptr, ec] =
+      std::to_chars(buf.data(), buf.data() + buf.size(), value);
+  RFID_REQUIRE(ec == std::errc{}, "double value could not be formatted");
+  return std::string(buf.data(), ptr);
+}
 
 bool parseBoolText(const std::string& text, bool& out) {
   if (text == "true" || text == "1" || text == "yes" || text == "on") {
@@ -37,9 +51,7 @@ ArgParser& ArgParser::addInt(const std::string& name, std::int64_t defaultValue,
 
 ArgParser& ArgParser::addDouble(const std::string& name, double defaultValue,
                                 const std::string& help) {
-  std::ostringstream os;
-  os << defaultValue;
-  options_[name] = Option{Kind::kDouble, help, os.str()};
+  options_[name] = Option{Kind::kDouble, help, formatDouble(defaultValue)};
   order_.push_back(name);
   return *this;
 }
@@ -106,9 +118,7 @@ void ArgParser::assign(const std::string& name, const std::string& value) {
       const double parsed = std::strtod(value.c_str(), &end);
       RFID_REQUIRE(end == value.c_str() + value.size() && !value.empty(),
                    "expected a floating-point value");
-      std::ostringstream os;
-      os << parsed;
-      opt.value = os.str();
+      opt.value = formatDouble(parsed);
       break;
     }
     case Kind::kString:
@@ -136,7 +146,16 @@ std::int64_t ArgParser::getInt(const std::string& name) const {
 }
 
 double ArgParser::getDouble(const std::string& name) const {
-  return std::stod(find(name, Kind::kDouble).value);
+  // std::from_chars, not std::stod: stod throws out_of_range whenever strtod
+  // sets ERANGE, which rejects perfectly representable subnormals. from_chars
+  // round-trips every finite double that formatDouble() stored.
+  const std::string& text = find(name, Kind::kDouble).value;
+  double parsed = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), parsed);
+  RFID_REQUIRE(ec == std::errc{} && ptr == text.data() + text.size(),
+               "stored flag value is not a floating-point number");
+  return parsed;
 }
 
 const std::string& ArgParser::getString(const std::string& name) const {
@@ -162,9 +181,15 @@ std::string ArgParser::helpText() const {
 std::uint64_t envOr(const char* name, std::uint64_t fallback) {
   const char* raw = std::getenv(name);
   if (raw == nullptr || *raw == '\0') return fallback;
+  // strtoull silently accepts a sign and wraps "-1" to 2^64-1; a negative
+  // value can never be a valid round count / thread count, so reject it and
+  // keep the fallback.
+  const char* start = raw;
+  while (std::isspace(static_cast<unsigned char>(*start)) != 0) ++start;
+  if (*start == '-') return fallback;
   char* end = nullptr;
-  const unsigned long long parsed = std::strtoull(raw, &end, 10);
-  if (end == raw || *end != '\0') return fallback;
+  const unsigned long long parsed = std::strtoull(start, &end, 10);
+  if (end == start || *end != '\0') return fallback;
   return parsed;
 }
 

@@ -1,0 +1,44 @@
+#include "common/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace rfid::common::simd {
+
+namespace {
+
+std::atomic<SimdMode> gMode{SimdMode::kAuto};
+
+bool detectAvx2() noexcept {
+  if (!kAvx2Compiled) {
+    return false;
+  }
+  // RFID_SIMD=scalar pins the portable kernels for the whole process —
+  // useful for A/B benchmarking and for reproducing portable-path results
+  // on AVX2 hardware. Any other value (or unset) means auto-detect.
+  const char* mode = std::getenv("RFID_SIMD");
+  if (mode != nullptr && std::strcmp(mode, "scalar") == 0) {
+    return false;
+  }
+#if RFID_SIMD_AVX2_COMPILED
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+void setSimdMode(SimdMode mode) noexcept {
+  gMode.store(mode, std::memory_order_relaxed);
+}
+
+SimdMode simdMode() noexcept { return gMode.load(std::memory_order_relaxed); }
+
+bool avx2Enabled() noexcept {
+  static const bool detected = detectAvx2();
+  return detected && simdMode() == SimdMode::kAuto;
+}
+
+}  // namespace rfid::common::simd

@@ -19,6 +19,75 @@ void DetectionScheme::contentionSignalInto(const tags::Tag& tag,
   out = contentionSignal(tag, tagRng);
 }
 
+void DetectionScheme::packedStaticSignal(const tags::Tag& tag,
+                                         std::uint64_t* out) const {
+  RFID_REQUIRE(packedKind() == PackedKind::kStatic,
+               "packedStaticSignal is only valid for kStatic schemes");
+  // A kStatic signal consumes no randomness, so a throwaway Rng is safe —
+  // and makes that contract load-bearing: a scheme that draws from it would
+  // diverge from the scalar path and fail the differential tests.
+  common::Rng throwaway(0);
+  const BitVec signal = contentionSignal(tag, throwaway);
+  RFID_REQUIRE(signal.size() == contentionBits(),
+               "contention signal length does not match the scheme");
+  const std::size_t words = contentionWords();
+  for (std::size_t w = 0; w < words; ++w) {
+    out[w] = signal.word(w);
+  }
+}
+
+void DetectionScheme::packedDraw(common::Rng& /*tagRng*/,
+                                 std::uint64_t* /*out*/) const {
+  common::throwPrecondition("packedKind() == PackedKind::kPerSlot",
+                            "this scheme has no per-slot packed draw");
+}
+
+// rfid:hot begin
+void DetectionScheme::packedDrawRun(common::Rng& tagRng, std::size_t n,
+                                    std::uint64_t* out) const {
+  const std::size_t stride = contentionWords();
+  for (std::size_t i = 0; i < n; ++i) {
+    packedDraw(tagRng, out + i * stride);
+  }
+}
+// rfid:hot end
+
+void DetectionScheme::classifyPacked(const std::uint64_t* /*superposed*/,
+                                     const std::uint32_t* /*slotOffsets*/,
+                                     std::size_t /*count*/,
+                                     phy::SlotType* /*out*/) const {
+  common::throwPrecondition("packedKind() != PackedKind::kNone",
+                            "this scheme does not support packed classify");
+}
+
+namespace {
+
+// rfid:hot begin
+/// Bits [pos, pos + width) of a packed word array as an integer (width ≤ 64).
+std::uint64_t extractBits(const std::uint64_t* words, std::size_t pos,
+                          unsigned width) {
+  const std::size_t wi = pos / 64;
+  const unsigned shift = static_cast<unsigned>(pos % 64);
+  std::uint64_t v = words[wi] >> shift;
+  if (shift != 0 && shift + width > 64) {
+    v |= words[wi + 1] << (64u - shift);
+  }
+  const std::uint64_t mask =
+      width == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+  return v & mask;
+}
+
+bool allWordsZero(const std::uint64_t* words, std::size_t count) {
+  std::uint64_t acc = 0;
+  for (std::size_t w = 0; w < count; ++w) {
+    acc |= words[w];
+  }
+  return acc == 0;
+}
+// rfid:hot end
+
+}  // namespace
+
 // --- CRC-CD ----------------------------------------------------------------
 
 CrcCdScheme::CrcCdScheme(phy::AirInterface air, crc::CrcSpec spec)
@@ -71,6 +140,29 @@ SlotType CrcCdScheme::classify(const std::optional<BitVec>& signal,
                                           : SlotType::kCollided;
 }
 
+// rfid:hot begin
+void CrcCdScheme::classifyPacked(const std::uint64_t* superposed,
+                                 const std::uint32_t* slotOffsets,
+                                 std::size_t count, SlotType* out) const {
+  const std::size_t words = contentionWords();
+  const std::size_t idBits = air().idBits;
+  const unsigned width = engine_.spec().width;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t* w = superposed + i * words;
+    if (slotOffsets[i + 1] == slotOffsets[i] || allWordsZero(w, words)) {
+      out[i] = SlotType::kIdle;
+      continue;
+    }
+    // Same test as classify(): recompute the CRC over the superposed ID
+    // part and compare it with the superposed code part, both read straight
+    // from the packed words.
+    const std::uint64_t crc = engine_.computeWords(w, idBits);
+    const std::uint64_t code = extractBits(w, idBits, width);
+    out[i] = crc == code ? SlotType::kSingle : SlotType::kCollided;
+  }
+}
+// rfid:hot end
+
 BitVec CrcCdScheme::idFromContention(const BitVec& signal) const {
   RFID_REQUIRE(signal.size() == contentionBits(),
                "signal length does not match the scheme");
@@ -117,6 +209,24 @@ SlotType QcdScheme::classify(const std::optional<BitVec>& signal,
   return preamble_.inspect(*signal) == QcdPreamble::Verdict::kSingle
              ? SlotType::kSingle
              : SlotType::kCollided;
+}
+// rfid:hot end
+
+// rfid:hot begin
+void QcdScheme::packedDraw(common::Rng& tagRng, std::uint64_t* out) const {
+  // One draw, exactly like contentionSignalInto.
+  preamble_.encodeWords(preamble_.draw(tagRng), out);
+}
+
+void QcdScheme::packedDrawRun(common::Rng& tagRng, std::size_t n,
+                              std::uint64_t* out) const {
+  preamble_.drawEncodeRun(tagRng, n, out);
+}
+
+void QcdScheme::classifyPacked(const std::uint64_t* superposed,
+                               const std::uint32_t* slotOffsets,
+                               std::size_t count, SlotType* out) const {
+  preamble_.inspectPacked(superposed, slotOffsets, count, out);
 }
 // rfid:hot end
 
@@ -214,6 +324,19 @@ SlotType IdealScheme::classify(const std::optional<BitVec>& /*signal*/,
 BitVec IdealScheme::idFromContention(const BitVec& signal) const {
   return signal;
 }
+
+// rfid:hot begin
+void IdealScheme::classifyPacked(const std::uint64_t* /*superposed*/,
+                                 const std::uint32_t* slotOffsets,
+                                 std::size_t count, SlotType* out) const {
+  // The oracle ignores the signal: the CSR offsets are the ground truth.
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint32_t n = slotOffsets[i + 1] - slotOffsets[i];
+    out[i] = n == 0 ? SlotType::kIdle
+                    : (n == 1 ? SlotType::kSingle : SlotType::kCollided);
+  }
+}
+// rfid:hot end
 
 SlotTiming IdealScheme::timing() const {
   return SlotTiming{/*idle=*/0.0,

@@ -72,6 +72,62 @@ class DetectionScheme {
   /// ID phase (QCD), the single-slot figure includes the ID transfer.
   virtual phy::SlotTiming timing() const = 0;
 
+  // --- packed batch API (sim::SlotEngine::runSlotsBatch) ---------------------
+  //
+  // The batch kernel superposes whole slots at 64-bit-word granularity
+  // instead of driving the per-responder BitVec path. A scheme opts in by
+  // reporting how its contention signal is produced (PackedKind) and by
+  // classifying packed superpositions; the packed representation is simply
+  // BitVec's word layout (signal bit i at bit i mod 64 of word i / 64), so
+  // packed and BitVec routes are bit-identical by construction.
+
+  /// How this scheme participates in the packed batch kernel.
+  enum class PackedKind : std::uint8_t {
+    kNone,     ///< no packed support — the batch path falls back to runSlot
+    kStatic,   ///< signal is a pure function of the tag, drawn without
+               ///< randomness; packed once per census (CRC-CD, Ideal)
+    kPerSlot,  ///< signal is drawn fresh for every slot via packedDraw (QCD)
+  };
+
+  virtual PackedKind packedKind() const noexcept { return PackedKind::kNone; }
+
+  /// contentionBits() rounded up to 64-bit words — the stride of every
+  /// packed signal array for this scheme.
+  std::size_t contentionWords() const { return (contentionBits() + 63) / 64; }
+
+  /// Packs the randomness-free contention signal of `tag` into
+  /// out[0 .. contentionWords()). Only meaningful for kStatic schemes and
+  /// called at gather time (off the hot path), so the default — which
+  /// renders contentionSignal with a throwaway Rng, valid precisely because
+  /// a kStatic signal consumes none of it — may allocate.
+  virtual void packedStaticSignal(const tags::Tag& tag,
+                                  std::uint64_t* out) const;
+
+  /// Draws one packed contention signal into out[0 .. contentionWords()),
+  /// consuming exactly the randomness contentionSignalInto would (the batch
+  /// kernel's bit-identity with the scalar path depends on it). Only
+  /// meaningful for kPerSlot schemes; the default throws.
+  virtual void packedDraw(common::Rng& tagRng, std::uint64_t* out) const;
+
+  /// Draws `n` packed contention signals into out[0 .. n·contentionWords()),
+  /// exactly equivalent to n successive packedDraw calls (the default is
+  /// that loop). kPerSlot schemes may override to hoist per-draw overhead —
+  /// the batch kernel encodes each run of consecutive honest responders
+  /// through one call.
+  virtual void packedDrawRun(common::Rng& tagRng, std::size_t n,
+                             std::uint64_t* out) const;
+
+  /// Batch classify over packed OR-superposed signals: slot i occupies
+  /// superposed[i·contentionWords() ..), and its responder count is
+  /// slotOffsets[i+1] − slotOffsets[i] (CSR offsets, count+1 entries).
+  /// Must match classify() on the pure-OR channel verdict for verdict:
+  /// zero responders or an all-zero superposition → kIdle, otherwise the
+  /// scheme's single/collided test. Required for kStatic and kPerSlot
+  /// schemes; the default throws.
+  virtual void classifyPacked(const std::uint64_t* superposed,
+                              const std::uint32_t* slotOffsets,
+                              std::size_t count, phy::SlotType* out) const;
+
   const phy::AirInterface& air() const noexcept { return air_; }
 
  protected:
@@ -103,6 +159,12 @@ class CrcCdScheme final : public DetectionScheme {
   bool idIsInContention() const override { return true; }
   common::BitVec idFromContention(const common::BitVec& signal) const override;
   phy::SlotTiming timing() const override;
+  PackedKind packedKind() const noexcept override {
+    return PackedKind::kStatic;
+  }
+  void classifyPacked(const std::uint64_t* superposed,
+                      const std::uint32_t* slotOffsets, std::size_t count,
+                      phy::SlotType* out) const override;
 
   const crc::CrcEngine& engine() const noexcept { return engine_; }
 
@@ -134,6 +196,15 @@ class QcdScheme final : public DetectionScheme {
                          std::size_t trueResponders) const override;
   bool idIsInContention() const override { return false; }
   phy::SlotTiming timing() const override;
+  PackedKind packedKind() const noexcept override {
+    return PackedKind::kPerSlot;
+  }
+  void packedDraw(common::Rng& tagRng, std::uint64_t* out) const override;
+  void packedDrawRun(common::Rng& tagRng, std::size_t n,
+                     std::uint64_t* out) const override;
+  void classifyPacked(const std::uint64_t* superposed,
+                      const std::uint32_t* slotOffsets, std::size_t count,
+                      phy::SlotType* out) const override;
 
   const QcdPreamble& preamble() const noexcept { return preamble_; }
   unsigned strength() const noexcept { return preamble_.strength(); }
@@ -196,6 +267,12 @@ class IdealScheme final : public DetectionScheme {
   bool idIsInContention() const override { return true; }
   common::BitVec idFromContention(const common::BitVec& signal) const override;
   phy::SlotTiming timing() const override;
+  PackedKind packedKind() const noexcept override {
+    return PackedKind::kStatic;
+  }
+  void classifyPacked(const std::uint64_t* superposed,
+                      const std::uint32_t* slotOffsets, std::size_t count,
+                      phy::SlotType* out) const override;
 };
 
 }  // namespace rfid::core

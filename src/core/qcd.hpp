@@ -19,6 +19,7 @@
 
 #include "common/bitvec.hpp"
 #include "common/rng.hpp"
+#include "phy/timing.hpp"
 
 namespace rfid::core {
 
@@ -49,6 +50,36 @@ class QcdPreamble {
   /// handles the idle case (no energy / all-zero signal) — a transmitted
   /// preamble is never all-zero because it always contains r and ~r.
   Verdict inspect(const common::BitVec& superposed) const;
+
+  /// Number of 64-bit words one packed preamble occupies: ⌈2l/64⌉ ∈ {1, 2}.
+  std::size_t words() const noexcept { return (bits() + 63) / 64; }
+
+  /// Packed in-place encode for the batch kernel: writes r ⊕ f(r) into
+  /// out[0 .. words()) using BitVec's bit layout (preamble bit i is bit
+  /// i mod 64 of word i / 64), so the packed words equal the words of
+  /// encode(r). Consumes no randomness; any unused high bits of the last
+  /// word are zero.
+  void encodeWords(std::uint64_t r, std::uint64_t* out) const;
+
+  /// Draws and packs `n` preambles into out[0 .. n·words()): exactly
+  /// equivalent to n successive draw() + encodeWords() pairs (same RNG
+  /// consumption, same words), but with the word-layout branch hoisted out
+  /// of the loop — the batch kernel encodes a whole run of honest
+  /// responders in one call.
+  void drawEncodeRun(common::Rng& rng, std::size_t n,
+                     std::uint64_t* out) const;
+
+  /// Batch Algorithm 1: classifies `count` slots whose OR-superposed packed
+  /// preambles are stored contiguously in `superposed` (count × words()
+  /// words). Slot i's responder count is slotOffsets[i+1] − slotOffsets[i];
+  /// a count of zero classifies as kIdle without reading the words (a
+  /// transmitted preamble always carries energy, so zero responders is the
+  /// only idle case — matching QcdScheme::classify on the pure-OR channel).
+  /// Dispatches to an AVX2 kernel when available and 2l ≤ 64; the portable
+  /// uint64_t path covers everything and is bit-identical.
+  void inspectPacked(const std::uint64_t* superposed,
+                     const std::uint32_t* slotOffsets, std::size_t count,
+                     phy::SlotType* out) const;
 
   /// Probability that m concurrent responders evade detection (all drew the
   /// same r): (2^l − 1)^−(m−1); 0 for m ≤ 1. The paper states 2^−l(m−1),

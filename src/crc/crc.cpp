@@ -169,6 +169,24 @@ std::uint64_t CrcEngine::computeBits(const BitVec& bits,
   return finalize(reg);
 }
 
+// rfid:hot begin
+std::uint64_t CrcEngine::computeWords(const std::uint64_t* words,
+                                      std::size_t nbits) const {
+  // Same serial LFSR core as computeBits, reading packed words directly.
+  std::uint64_t reg = coreInit();
+  const std::uint64_t top = topBit();
+  for (std::size_t i = 0; i < nbits; ++i) {
+    const bool inBit = ((words[i / 64] >> (i % 64)) & 1u) != 0;
+    const bool doXor = ((reg & top) != 0) != inBit;
+    reg = (reg << 1) & mask();
+    if (doXor) {
+      reg ^= spec_.poly;
+    }
+  }
+  return finalize(reg);
+}
+// rfid:hot end
+
 BitVec CrcEngine::codeFor(const BitVec& payload) const {
   return BitVec::fromUint(computeBits(payload), spec_.width);
 }

@@ -80,6 +80,13 @@ class CrcEngine {
   /// after the payload for transmission (bit i of the register at index i).
   common::BitVec codeFor(const common::BitVec& payload) const;
 
+  /// computeBits over a packed word array: feeds `nbits` bits, where bit i
+  /// is bit i mod 64 of words[i / 64] (BitVec's word layout), so
+  /// computeWords(v.words, v.size()) == computeBits(v). Used by the batch
+  /// slot kernel, which superposes signals as raw words without a BitVec.
+  std::uint64_t computeWords(const std::uint64_t* words,
+                             std::size_t nbits) const;
+
   /// Size of the byte-wise lookup table in bits (the tag-memory cost the
   /// paper cites: 256 entries × width).
   std::uint64_t tableBits() const noexcept { return 256ull * spec_.width; }

@@ -51,6 +51,16 @@ class Channel {
   /// call count. Default is a no-op.
   virtual void beginSlot(std::uint64_t slotIndex);
 
+  /// True when this channel is a pure, stateless Boolean sum: superposeInto
+  /// is exactly the word-level OR of the transmissions, consumes no
+  /// randomness, never erases or corrupts, reports capturedIndex == 0 iff
+  /// exactly one tag transmitted, and beginSlot is a no-op. The batch slot
+  /// kernel (sim::SlotEngine::runSlotsBatch) relies on this contract to
+  /// superpose packed words directly instead of driving the virtual
+  /// per-slot API; any channel with state, randomness, or capture must
+  /// return false so the batch path falls back to the slot-exact route.
+  virtual bool isPureOr() const noexcept { return false; }
+
   /// Superposes the time-aligned transmissions of one slot into the
   /// caller-owned `out`, reusing out.signal's storage when it is already
   /// engaged. All signals must have equal length (§IV-A:
@@ -71,6 +81,7 @@ class OrChannel final : public Channel {
  public:
   void superposeInto(std::span<const common::BitVec> transmissions,
                      common::Rng& rng, Reception& out) override;
+  bool isPureOr() const noexcept override { return true; }
 };
 
 /// OR channel with capture: when m ≥ 2 tags collide, with probability

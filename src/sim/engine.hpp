@@ -28,6 +28,24 @@
 
 namespace rfid::sim {
 
+class TagSoA;
+
+/// A batch of contention slots in CSR form: slot s's responders are
+/// responders[offsets[s] .. offsets[s+1]) — indices into the tag
+/// population, in the same per-slot order the scalar path would iterate
+/// (the order fixes RNG consumption for per-slot schemes, so it is part of
+/// the bit-identity contract).
+struct SlotBatch {
+  std::span<const std::uint32_t> responders;
+  /// slotCount() + 1 monotonically non-decreasing indices into `responders`;
+  /// the first entry must be 0 and the last responders.size().
+  std::span<const std::uint32_t> offsets;
+
+  std::size_t slotCount() const noexcept {
+    return offsets.empty() ? 0 : offsets.size() - 1;
+  }
+};
+
 /// How the reader defends identification against channel noise. With
 /// `ackVerify` on, every slot read as single costs one extra verify
 /// exchange (`verifyBits` of airtime) in which the reader echoes the ID it
@@ -59,6 +77,23 @@ class SlotEngine {
                         std::span<const std::size_t> responders,
                         common::Rng& rng);
 
+  /// Batched equivalent of calling runSlot once per batch slot, in order:
+  /// metrics, tag state, observer events, RNG consumption, and returned
+  /// slot types are bit-identical to the scalar loop (the differential
+  /// tests in tests/test_batch_kernel.cpp enforce this). When the scheme
+  /// supports the packed API (packedKind() != kNone) and the channel is a
+  /// pure OR (isPureOr()), whole slots are encoded, superposed, and
+  /// classified at 64-bit-word granularity over `soa`'s arrays — with AVX2
+  /// specializations where available — instead of driving the virtual
+  /// per-responder BitVec path; otherwise the batch transparently falls
+  /// back to slot-exact runSlot calls. `soa` must be a gather() of `tags`
+  /// under this engine's scheme. `detectedOut`, when non-empty, must hold
+  /// slotCount() entries and receives each slot's effective type (the
+  /// runSlot return value).
+  void runSlotsBatch(std::span<tags::Tag> tags, const TagSoA& soa,
+                     const SlotBatch& batch, common::Rng& rng,
+                     std::span<phy::SlotType> detectedOut = {});
+
   const core::DetectionScheme& scheme() const noexcept { return scheme_; }
   Metrics& metrics() noexcept { return metrics_; }
 
@@ -72,6 +107,13 @@ class SlotEngine {
   const RecoveryPolicy& recoveryPolicy() const noexcept { return recovery_; }
 
  private:
+  void runSlotsBatchPacked(std::span<tags::Tag> tags, const TagSoA& soa,
+                           const SlotBatch& batch, common::Rng& rng,
+                           std::span<phy::SlotType> detectedOut);
+  void runSlotsBatchFallback(std::span<tags::Tag> tags,
+                             const SlotBatch& batch, common::Rng& rng,
+                             std::span<phy::SlotType> detectedOut);
+
   const core::DetectionScheme& scheme_;
   phy::Channel& channel_;
   Metrics& metrics_;
@@ -84,6 +126,13 @@ class SlotEngine {
   std::vector<common::BitVec> txScratch_;
   /// Channel output scratch; its signal BitVec is likewise reused.
   phy::Reception rxScratch_;
+  /// Batch-kernel scratch (engine_batch.cpp): packed transmissions,
+  /// per-slot OR accumulators, verdicts, and the fallback path's responder
+  /// index conversion buffer. All grown at high-water marks only.
+  std::vector<std::uint64_t> batchTxWords_;
+  std::vector<std::uint64_t> batchAccWords_;
+  std::vector<phy::SlotType> batchVerdicts_;
+  std::vector<std::size_t> batchResponders_;
 };
 
 }  // namespace rfid::sim

@@ -2,24 +2,6 @@
 
 namespace rfid::sim {
 
-void Metrics::recordSlot(phy::SlotType trueType, phy::SlotType detectedType,
-                         double airtimeMicros) {
-  trueCensus_.bump(trueType);
-  detectedCensus_.bump(detectedType);
-  ++confusion_[static_cast<std::size_t>(trueType)]
-              [static_cast<std::size_t>(detectedType)];
-  airtimeMicros_ += airtimeMicros;
-  nowMicros_ += airtimeMicros;
-}
-
-void Metrics::recordIdentification(bool correct, double atMicros) {
-  ++identified_;
-  if (correct) {
-    ++correct_;
-  }
-  delays_.push_back(atMicros);
-}
-
 double Metrics::throughput() const noexcept {
   const std::uint64_t total = detectedCensus_.total();
   return total == 0

@@ -46,12 +46,29 @@ class Metrics {
   void advanceMicros(double dt) noexcept { nowMicros_ += dt; }
 
   // --- recording (called by the slot engine / protocols) ------------------
+  // recordSlot and recordIdentification are defined inline: they run once
+  // per slot in both the scalar and batched hot paths, where an out-of-line
+  // call is measurable against the slots/sec acceptance bars.
   void recordSlot(phy::SlotType trueType, phy::SlotType detectedType,
-                  double airtimeMicros);
+                  double airtimeMicros) noexcept {
+    trueCensus_.bump(trueType);
+    detectedCensus_.bump(detectedType);
+    ++confusion_[static_cast<std::size_t>(trueType)]
+                [static_cast<std::size_t>(detectedType)];
+    airtimeMicros_ += airtimeMicros;
+    nowMicros_ += airtimeMicros;
+  }
   void recordFrame() noexcept { ++frames_; }
   /// A tag fell silent at `atMicros`; `correct` is false when it was
-  /// silenced by a phantom ACK (misdetected collision).
-  void recordIdentification(bool correct, double atMicros);
+  /// silenced by a phantom ACK (misdetected collision). Allocation-free as
+  /// long as reserveIdentifications covered the identification count.
+  void recordIdentification(bool correct, double atMicros) {
+    ++identified_;
+    if (correct) {
+      ++correct_;
+    }
+    delays_.push_back(atMicros);
+  }
   /// A misdetected collision silenced `tagsLost` tags with one phantom ID.
   void recordPhantom(std::uint64_t tagsLost) noexcept {
     ++phantoms_;

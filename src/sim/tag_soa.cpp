@@ -1,0 +1,34 @@
+#include "sim/tag_soa.hpp"
+
+namespace rfid::sim {
+
+void TagSoA::gather(std::span<const tags::Tag> tags,
+                    const core::DetectionScheme& scheme) {
+  const std::size_t n = tags.size();
+  blocker_.resize(n);
+  slotChoice_.resize(n);
+  strength_.resize(n);
+  idValue_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const tags::Tag& tag = tags[i];
+    blocker_[i] = tag.blocker ? 1 : 0;
+    slotChoice_[i] = tag.slotChoice;
+    strength_[i] = 1.0f;
+    idValue_[i] = tag.idValue;
+  }
+
+  signalWords_ = scheme.contentionWords();
+  hasStaticSignals_ =
+      scheme.packedKind() == core::DetectionScheme::PackedKind::kStatic;
+  if (!hasStaticSignals_) {
+    staticSignals_.clear();
+    return;
+  }
+  staticSignals_.assign(n * signalWords_, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (tags[i].blocker) continue;  // kernel substitutes the jamming signal
+    scheme.packedStaticSignal(tags[i], staticSignals_.data() + i * signalWords_);
+  }
+}
+
+}  // namespace rfid::sim

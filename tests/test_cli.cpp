@@ -97,6 +97,35 @@ TEST(ArgParser, TypeMismatchOnAccessThrows) {
   EXPECT_THROW(p.getInt("never-declared"), PreconditionError);
 }
 
+TEST(ArgParser, DoubleValuesRoundTripExactly) {
+  // Regression: values used to pass through a default-precision
+  // ostringstream, truncating to six significant digits — --c=0.123456789
+  // silently became 0.123457. Parsed doubles must round-trip exactly.
+  ArgParser p = makeParser();
+  const char* argv[] = {"demo", "--tau=0.123456789"};
+  EXPECT_TRUE(p.parse(2, argv));
+  EXPECT_EQ(p.getDouble("tau"), 0.123456789);
+}
+
+TEST(ArgParser, DoubleDefaultsRoundTripExactly) {
+  // Defaults travel the same format/parse path as parsed values.
+  ArgParser p("demo", "test parser");
+  p.addDouble("c", 0.8191726312345679, "paper constant");
+  const char* argv[] = {"demo"};
+  EXPECT_TRUE(p.parse(1, argv));
+  EXPECT_EQ(p.getDouble("c"), 0.8191726312345679);
+}
+
+TEST(ArgParser, DoubleExtremesSurviveTheRoundTrip) {
+  ArgParser p("demo", "test parser");
+  p.addDouble("tiny", 0.0, "x").addDouble("huge", 0.0, "y");
+  const char* argv[] = {"demo", "--tiny=4.9406564584124654e-324",
+                        "--huge=1.7976931348623157e308"};
+  EXPECT_TRUE(p.parse(3, argv));
+  EXPECT_EQ(p.getDouble("tiny"), 4.9406564584124654e-324);
+  EXPECT_EQ(p.getDouble("huge"), 1.7976931348623157e308);
+}
+
 TEST(EnvOr, ReadsAndFallsBack) {
   ::setenv("RFID_TEST_ENV", "123", 1);
   EXPECT_EQ(envOr("RFID_TEST_ENV", 7), 123u);
@@ -104,6 +133,26 @@ TEST(EnvOr, ReadsAndFallsBack) {
   EXPECT_EQ(envOr("RFID_TEST_ENV", 7), 7u);
   ::unsetenv("RFID_TEST_ENV");
   EXPECT_EQ(envOr("RFID_TEST_ENV", 7), 7u);
+}
+
+TEST(EnvOr, RejectsNegativeInput) {
+  // Regression: strtoull happily wraps "-1" to 2^64 - 1; a negative value
+  // must fall back instead of becoming a huge unsigned count.
+  ::setenv("RFID_TEST_ENV", "-1", 1);
+  EXPECT_EQ(envOr("RFID_TEST_ENV", 7), 7u);
+  ::setenv("RFID_TEST_ENV", " -5", 1);
+  EXPECT_EQ(envOr("RFID_TEST_ENV", 7), 7u);
+  ::unsetenv("RFID_TEST_ENV");
+}
+
+TEST(EnvOr, RejectsEmptyAndTrailingGarbage) {
+  ::setenv("RFID_TEST_ENV", "", 1);
+  EXPECT_EQ(envOr("RFID_TEST_ENV", 7), 7u);
+  ::setenv("RFID_TEST_ENV", "12abc", 1);
+  EXPECT_EQ(envOr("RFID_TEST_ENV", 7), 7u);
+  ::setenv("RFID_TEST_ENV", "12 ", 1);
+  EXPECT_EQ(envOr("RFID_TEST_ENV", 7), 7u);
+  ::unsetenv("RFID_TEST_ENV");
 }
 
 }  // namespace

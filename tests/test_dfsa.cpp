@@ -93,6 +93,33 @@ TEST(Estimators, VogtSaturatedCensusStaysBounded) {
   EXPECT_LT(est, std::size_t{1} << 16);
 }
 
+TEST(Estimators, VogtNegligibleErrorStopsAtWindowBoundary) {
+  // Saturated all-collided census: the χ² error decays towards zero with no
+  // interior minimum, so the scan's kNegligibleErr cutoff must let a window
+  // boundary stand once the fit error there is already negligible. With
+  // DFSA's own ceiling (16·F + 16 = 272) that happens in the first window;
+  // with a tighter ceiling of 64 it takes two doublings (64 → 128 → 256).
+  // Both values are pinned: a regression in the cutoff order (doubling
+  // before checking the error, or vice versa) changes them.
+  const FrameCensus c{.frameSize = 16, .idle = 0, .single = 0, .collided = 16};
+  EXPECT_EQ(vogtContenderEstimate(c, /*searchCeiling=*/272), 272u);
+  EXPECT_EQ(vogtContenderEstimate(c, /*searchCeiling=*/64), 256u);
+}
+
+TEST(Estimators, VogtHardCapBoundsSearchWindow) {
+  // Ceilings at or above the 2^16 hard cap never double further: the first
+  // window already spans the cap, the geometric terms underflow well before
+  // its edge (the fit error reaches exactly zero at an interior n), and the
+  // estimate must therefore be independent of how far past the cap the
+  // requested ceiling reaches.
+  const FrameCensus c{.frameSize = 16, .idle = 0, .single = 0, .collided = 16};
+  const std::size_t atCap = vogtContenderEstimate(c, std::size_t{1} << 16);
+  EXPECT_EQ(atCap, vogtContenderEstimate(c, 100000));
+  EXPECT_EQ(atCap, vogtContenderEstimate(c, std::size_t{1} << 20));
+  EXPECT_GE(atCap, 2u * 16u);  // never below the deterministic floor
+  EXPECT_LT(atCap, std::size_t{1} << 16);
+}
+
 TEST(Estimators, VogtValidation) {
   FrameCensus c{.frameSize = 0, .idle = 0, .single = 0, .collided = 0};
   EXPECT_THROW(vogtContenderEstimate(c, 10), PreconditionError);

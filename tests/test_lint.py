@@ -29,6 +29,7 @@ EXPECTED = {
     "src/sim/io_cout.cpp": "RFID-IO-003",
     "src/phy/naked_thread.cpp": "RFID-THR-004",
     "src/core/nolint_bare.cpp": "RFID-NOLINT-005",
+    "src/sim/engine_batch.cpp": "RFID-HOT-006",
 }
 
 
