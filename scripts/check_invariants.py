@@ -145,9 +145,11 @@ RULES = {
         "scope": ["src/"],
         "allow": {},
         "patterns": [],  # handled specially: requires >= 1 hot region
-        # The slot hot path's kernel files. A file listed here with no
-        # `// rfid:hot begin` region fails: RFID-HOT-002 only scans inside
-        # regions, so an unmarked kernel is an unchecked kernel.
+        # The slot hot path's kernel files, plus the framed-ALOHA frame
+        # loops that feed it (FrameBatcher and the scalar reference loops).
+        # A file listed here with no `// rfid:hot begin` region fails:
+        # RFID-HOT-002 only scans inside regions, so an unmarked kernel is
+        # an unchecked kernel.
         "required_files": [
             "src/sim/engine.cpp",
             "src/sim/engine_batch.cpp",
@@ -155,6 +157,9 @@ RULES = {
             "src/core/qcd.cpp",
             "src/crc/crc.cpp",
             "src/phy/channel.cpp",
+            "src/anticollision/protocol.cpp",
+            "src/anticollision/fsa.cpp",
+            "src/anticollision/dfsa.cpp",
         ],
     },
 }

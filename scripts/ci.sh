@@ -31,10 +31,10 @@ if [ "$mode" = "tsan" ]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan -j "$(nproc 2>/dev/null || echo 4)" \
     --target test_thread_pool test_montecarlo test_bounded_queue \
-    test_service test_loadgen
+    test_service test_loadgen test_frame_batch
   ctest --test-dir build-tsan --output-on-failure \
     -j "$(nproc 2>/dev/null || echo 4)" \
-    -R 'ThreadPool|ParallelFor|MonteCarlo|BoundedQueue|InventoryService|Loadgen'
+    -R 'ThreadPool|ParallelFor|MonteCarlo|BoundedQueue|InventoryService|Loadgen|FrameBatch'
   echo "ci.sh: tsan green"
   exit 0
 fi

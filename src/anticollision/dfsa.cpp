@@ -27,49 +27,127 @@ std::string DynamicFsa::name() const {
 
 bool DynamicFsa::run(sim::SlotEngine& engine, std::span<tags::Tag> tags,
                      common::Rng& rng) {
-  const std::vector<std::size_t> blockers = blockerIndices(tags);
-  // Frame scratch, reused across frames (the engine-owned-scratch pattern):
-  // `buckets` grows to the high-water frame size and each inner vector keeps
-  // its storage — clear() instead of assign(frameSize, {}), which destroyed
-  // and reallocated every bucket each frame. `responders` is only needed
-  // when blockers must be appended; without blockers the slot runs straight
-  // off the bucket, avoiding the per-slot copy-assignment.
-  std::vector<std::vector<std::size_t>> buckets;
-  std::vector<std::size_t> responders;
+  return frameMode() == FrameMode::kBatched
+             ? runBatched(engine, tags, rng, nullptr)
+             : runScalar(engine, tags, rng);
+}
+
+bool DynamicFsa::runWithSnapshot(sim::SlotEngine& engine,
+                                 std::span<tags::Tag> tags, common::Rng& rng,
+                                 const sim::TagSoA& soa) {
+  return frameMode() == FrameMode::kBatched
+             ? runBatched(engine, tags, rng, &soa)
+             : runScalar(engine, tags, rng);
+}
+
+bool DynamicFsa::runBatched(sim::SlotEngine& engine, std::span<tags::Tag> tags,
+                            common::Rng& rng, const sim::TagSoA* soa) {
+  batcher_.beginRound(tags, engine, soa);
   std::size_t frameSize = initialFrame_;
   std::size_t slotsUsed = 0;
 
   // Like FSA, the reader confirms completion with a terminal frame that
-  // draws no response (it cannot observe the ground truth).
+  // draws no response (it cannot observe the ground truth). Frames started
+  // with the budget already spent never run and are not counted; a frame
+  // truncated by the budget aborts before the estimator sees its census
+  // (DESIGN.md §5e).
   for (;;) {
-    const std::vector<std::size_t> active = activeTagIndices(tags);
-    const bool anyResponse = !active.empty() || !blockers.empty();
+    if (slotsUsed >= maxSlots()) {
+      return false;
+    }
+    const std::size_t slotsToRun = std::min(frameSize, maxSlots() - slotsUsed);
     engine.metrics().recordFrame();
-    if (buckets.size() < frameSize) {
-      buckets.resize(frameSize);
+    const bool anyResponse = !batcher_.gatherActive(tags).empty() ||
+                             !batcher_.blockers().empty();
+    const std::span<const phy::SlotType> verdicts =
+        batcher_.runFrame(engine, tags, frameSize, slotsToRun, rng);
+    slotsUsed += slotsToRun;
+    if (slotsToRun < frameSize) {
+      return false;  // budget exhausted mid-frame
     }
-    for (std::size_t s = 0; s < frameSize; ++s) {
-      buckets[s].clear();
-    }
-    for (const std::size_t idx : active) {
-      const auto slot = static_cast<std::uint32_t>(rng.below(frameSize));
-      tags[idx].slotChoice = slot;
-      buckets[slot].push_back(idx);
+    if (!anyResponse) {
+      return true;
     }
 
     FrameCensus census;
     census.frameSize = frameSize;
-    for (std::size_t s = 0; s < frameSize; ++s) {
-      if (slotsUsed++ >= maxSlots()) {
-        return false;
+    for (const phy::SlotType verdict : verdicts) {
+      switch (verdict) {
+        case phy::SlotType::kIdle:
+          ++census.idle;
+          break;
+        case phy::SlotType::kSingle:
+          ++census.single;
+          break;
+        case phy::SlotType::kCollided:
+          ++census.collided;
+          break;
       }
-      std::span<const std::size_t> slotResponders = buckets[s];
-      if (!blockers.empty()) {
-        responders.clear();
-        responders.insert(responders.end(), buckets[s].begin(),
-                          buckets[s].end());
-        responders.insert(responders.end(), blockers.begin(), blockers.end());
-        slotResponders = responders;
+    }
+    const std::size_t backlog = estimateBacklog(estimator_, census);
+    frameSize = std::clamp(backlog, minFrame_, maxFrame_);
+  }
+}
+
+// The per-slot reference loop. Kept bit-identical to runBatched (same
+// draws in the same order, same frame accounting, same truncation
+// behaviour); tests/test_frame_batch.cpp diffs the two end to end.
+// rfid:hot begin
+bool DynamicFsa::runScalar(sim::SlotEngine& engine, std::span<tags::Tag> tags,
+                           common::Rng& rng) {
+  blockerIndicesInto(tags, blockersScratch_);
+  std::size_t frameSize = initialFrame_;
+  std::size_t slotsUsed = 0;
+
+  // One full population scan up front; each later frame only drops the
+  // newly identified tags (same incremental refresh as FrameBatcher).
+  activeTagIndicesInto(tags, activeScratch_);
+  bool firstFrame = true;
+  for (;;) {
+    if (slotsUsed >= maxSlots()) {
+      return false;
+    }
+    const std::size_t slotsToRun = std::min(frameSize, maxSlots() - slotsUsed);
+    engine.metrics().recordFrame();
+    if (!firstFrame) {
+      filterStillActive(tags, activeScratch_);
+    }
+    firstFrame = false;
+    const bool anyResponse =
+        !activeScratch_.empty() || !blockersScratch_.empty();
+    if (buckets_.size() < slotsToRun) {
+      // rfid:hot-allow: high-water-mark growth; steady state reuses storage
+      buckets_.resize(slotsToRun);
+    }
+    for (std::size_t s = 0; s < slotsToRun; ++s) {
+      buckets_[s].clear();
+    }
+    for (const std::size_t idx : activeScratch_) {
+      const auto slot = static_cast<std::uint32_t>(rng.below(frameSize));
+      if (slot < slotsToRun) {
+        // Only slots that will actually run are committed — a draw past the
+        // budget truncation point leaves the tag's previous slotChoice (it
+        // never contends this frame), matching the batched path.
+        tags[idx].slotChoice = slot;
+        // rfid:hot-allow: amortized bucket growth, reused across frames
+        buckets_[slot].push_back(idx);
+      }
+    }
+
+    FrameCensus census;
+    census.frameSize = frameSize;
+    for (std::size_t s = 0; s < slotsToRun; ++s) {
+      std::span<const std::size_t> slotResponders = buckets_[s];
+      if (!blockersScratch_.empty()) {
+        respondersScratch_.clear();
+        // rfid:hot-allow: amortized responder growth, reused across slots
+        respondersScratch_.insert(respondersScratch_.end(), buckets_[s].begin(),
+                                  buckets_[s].end());
+        // rfid:hot-allow: amortized responder growth, reused across slots
+        respondersScratch_.insert(respondersScratch_.end(),
+                                  blockersScratch_.begin(),
+                                  blockersScratch_.end());
+        slotResponders = respondersScratch_;
       }
       switch (engine.runSlot(tags, slotResponders, rng)) {
         case phy::SlotType::kIdle:
@@ -83,7 +161,10 @@ bool DynamicFsa::run(sim::SlotEngine& engine, std::span<tags::Tag> tags,
           break;
       }
     }
-
+    slotsUsed += slotsToRun;
+    if (slotsToRun < frameSize) {
+      return false;  // budget exhausted mid-frame
+    }
     if (!anyResponse) {
       return true;
     }
@@ -91,5 +172,6 @@ bool DynamicFsa::run(sim::SlotEngine& engine, std::span<tags::Tag> tags,
     frameSize = std::clamp(backlog, minFrame_, maxFrame_);
   }
 }
+// rfid:hot end
 
 }  // namespace rfid::anticollision

@@ -12,6 +12,7 @@
 #include "phy/channel.hpp"
 #include "phy/impairments/impaired_channel.hpp"
 #include "sim/montecarlo.hpp"
+#include "sim/tag_soa.hpp"
 #include "tags/population.hpp"
 
 namespace rfid::anticollision {
@@ -136,9 +137,15 @@ AggregateResult runExperiment(const ExperimentConfig& config) {
         sim::SlotEngine engine(*scheme, liveChannel, metrics);
         engine.setRecoveryPolicy(config.recovery);
         engine.setObserver(config.observer);
+        // One SoA snapshot per round, shared by the initial census and
+        // every recovery pass (blocker flags and IDs are round-constant;
+        // the batch kernel never reads the mutable columns).
+        sim::TagSoA soa;
+        soa.gather(population, *scheme);
+        protocol->setFrameMode(config.frameMode);
         // A round that hits the slot cap leaves tags unidentified; the
         // aggregation detects that via Metrics::identified().
-        (void)protocol->run(engine, population, rng);
+        (void)protocol->runWithSnapshot(engine, population, rng, soa);
 
         // Recovery: noise (erasures, rejected verifies) can leave a
         // protocol's own termination condition satisfied while honest tags
@@ -157,8 +164,9 @@ AggregateResult runExperiment(const ExperimentConfig& config) {
           const std::uint64_t identifiedBefore = metrics.identified();
           auto retry = makeProtocol(config.protocol, config.frameSize,
                                     config.maxSlots);
+          retry->setFrameMode(config.frameMode);
           ++passesByRound[roundIndex];
-          (void)retry->run(engine, population, rng);
+          (void)retry->runWithSnapshot(engine, population, rng, soa);
           if (metrics.identified() == identifiedBefore) break;
         }
         if (impairmentsOn) {

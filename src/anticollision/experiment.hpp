@@ -63,6 +63,12 @@ struct ExperimentConfig {
   /// termination can strand tags under erasures; 0 = off (the default, and
   /// the pre-impairment behavior).
   unsigned recoveryMaxPasses = 0;
+  /// Frame emission mode for the framed-ALOHA protocols (FSA/DFSA):
+  /// kBatched (the default) renders whole frames as CSR slot batches on the
+  /// SIMD kernel; kScalar pins the per-slot reference loop. Bit-identical by
+  /// contract (tests/test_frame_batch.cpp); tree protocols and Q-adaptive
+  /// ignore the mode.
+  Protocol::FrameMode frameMode = Protocol::FrameMode::kBatched;
   std::size_t rounds = 100;
   std::uint64_t seed = 42;
   unsigned threads = 0;

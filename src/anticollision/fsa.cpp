@@ -1,5 +1,7 @@
 #include "anticollision/fsa.hpp"
 
+#include <algorithm>
+
 #include "common/require.hpp"
 
 namespace rfid::anticollision {
@@ -16,39 +18,118 @@ std::string FramedSlottedAloha::name() const {
 
 bool FramedSlottedAloha::run(sim::SlotEngine& engine,
                              std::span<tags::Tag> tags, common::Rng& rng) {
-  const std::vector<std::size_t> blockers = blockerIndices(tags);
-  std::vector<std::vector<std::size_t>> buckets(frameSize_);
-  std::vector<std::size_t> responders;
-  std::size_t slotsUsed = 0;
+  return frameMode() == FrameMode::kBatched
+             ? runBatched(engine, tags, rng, nullptr)
+             : runScalar(engine, tags, rng);
+}
+
+bool FramedSlottedAloha::runWithSnapshot(sim::SlotEngine& engine,
+                                         std::span<tags::Tag> tags,
+                                         common::Rng& rng,
+                                         const sim::TagSoA& soa) {
+  return frameMode() == FrameMode::kBatched
+             ? runBatched(engine, tags, rng, &soa)
+             : runScalar(engine, tags, rng);
+}
+
+bool FramedSlottedAloha::runBatched(sim::SlotEngine& engine,
+                                    std::span<tags::Tag> tags,
+                                    common::Rng& rng, const sim::TagSoA* soa) {
+  batcher_.beginRound(tags, engine, soa);
 
   // The reader cannot observe the ground truth, so it keeps launching
   // frames until one passes with no response at all — that terminal
   // all-idle frame is part of the identification cost (and is visible in
-  // the paper's Table VII idle counts).
+  // the paper's Table VII idle counts). Frames started with the budget
+  // already spent never run and are not counted (DESIGN.md §5e).
+  std::size_t slotsUsed = 0;
   for (;;) {
+    if (slotsUsed >= maxSlots()) {
+      return false;
+    }
+    const std::size_t slotsToRun = std::min(frameSize_, maxSlots() - slotsUsed);
     engine.metrics().recordFrame();
-    const std::vector<std::size_t> active = activeTagIndices(tags);
-    const bool anyResponse = !active.empty() || !blockers.empty();
-    for (auto& bucket : buckets) {
-      bucket.clear();
-    }
-    for (const std::size_t idx : active) {
-      const auto slot = static_cast<std::uint32_t>(rng.below(frameSize_));
-      tags[idx].slotChoice = slot;
-      buckets[slot].push_back(idx);
-    }
-    for (std::size_t s = 0; s < frameSize_; ++s) {
-      if (slotsUsed++ >= maxSlots()) {
-        return false;
-      }
-      responders = buckets[s];
-      responders.insert(responders.end(), blockers.begin(), blockers.end());
-      engine.runSlot(tags, responders, rng);
+    const bool anyResponse = !batcher_.gatherActive(tags).empty() ||
+                             !batcher_.blockers().empty();
+    batcher_.runFrame(engine, tags, frameSize_, slotsToRun, rng);
+    slotsUsed += slotsToRun;
+    if (slotsToRun < frameSize_) {
+      return false;  // budget exhausted mid-frame
     }
     if (!anyResponse) {
       return true;
     }
   }
 }
+
+// The per-slot reference loop. Kept bit-identical to runBatched (same
+// draws in the same order, same frame accounting, same truncation
+// behaviour); tests/test_frame_batch.cpp diffs the two end to end.
+// rfid:hot begin
+bool FramedSlottedAloha::runScalar(sim::SlotEngine& engine,
+                                   std::span<tags::Tag> tags,
+                                   common::Rng& rng) {
+  blockerIndicesInto(tags, blockersScratch_);
+  if (buckets_.size() < frameSize_) {
+    // rfid:hot-allow: high-water-mark growth; steady state reuses storage
+    buckets_.resize(frameSize_);
+  }
+
+  // One full population scan up front; each later frame only drops the
+  // newly identified tags (same incremental refresh as FrameBatcher).
+  activeTagIndicesInto(tags, activeScratch_);
+  std::size_t slotsUsed = 0;
+  bool firstFrame = true;
+  for (;;) {
+    if (slotsUsed >= maxSlots()) {
+      return false;
+    }
+    const std::size_t slotsToRun = std::min(frameSize_, maxSlots() - slotsUsed);
+    engine.metrics().recordFrame();
+    if (!firstFrame) {
+      filterStillActive(tags, activeScratch_);
+    }
+    firstFrame = false;
+    const bool anyResponse =
+        !activeScratch_.empty() || !blockersScratch_.empty();
+    for (std::size_t s = 0; s < slotsToRun; ++s) {
+      buckets_[s].clear();
+    }
+    for (const std::size_t idx : activeScratch_) {
+      const auto slot = static_cast<std::uint32_t>(rng.below(frameSize_));
+      if (slot < slotsToRun) {
+        // Only slots that will actually run are committed — a draw past the
+        // budget truncation point leaves the tag's previous slotChoice (it
+        // never contends this frame), matching the batched path.
+        tags[idx].slotChoice = slot;
+        // rfid:hot-allow: amortized bucket growth, reused across frames
+        buckets_[slot].push_back(idx);
+      }
+    }
+    for (std::size_t s = 0; s < slotsToRun; ++s) {
+      std::span<const std::size_t> slotResponders = buckets_[s];
+      if (!blockersScratch_.empty()) {
+        respondersScratch_.clear();
+        // rfid:hot-allow: amortized responder growth, reused across slots
+        respondersScratch_.insert(respondersScratch_.end(), buckets_[s].begin(),
+                                  buckets_[s].end());
+        // rfid:hot-allow: amortized responder growth, reused across slots
+        respondersScratch_.insert(respondersScratch_.end(),
+                                  blockersScratch_.begin(),
+                                  blockersScratch_.end());
+        slotResponders = respondersScratch_;
+      }
+      engine.runSlot(tags, slotResponders, rng);
+    }
+    slotsUsed += slotsToRun;
+    if (slotsToRun < frameSize_) {
+      return false;  // budget exhausted mid-frame
+    }
+    if (!anyResponse) {
+      return true;
+    }
+  }
+}
+// rfid:hot end
 
 }  // namespace rfid::anticollision

@@ -1,0 +1,117 @@
+// FrameBatcher: renders one framed-ALOHA frame as a CSR sim::SlotBatch.
+//
+// The scalar reference loops (FramedSlottedAloha::runScalar and the DFSA
+// equivalent) bucket each active tag's slot draw into per-slot vectors and
+// feed runSlot one slot at a time. This helper produces the identical
+// responder sequence — honest tags bucketed by draw in ascending tag
+// order, blockers appended to every slot — via a two-pass counting sort
+// into flat CSR arrays, then hands the whole frame to the engine in one
+// runSlotsBatchBlockers call. Bit-identity with the scalar loops is
+// inherited from the engine's batch contract; the differential tests in
+// tests/test_frame_batch.cpp pin it end to end.
+#include "anticollision/protocol.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace rfid::anticollision {
+
+void FrameBatcher::beginRound(std::span<const tags::Tag> tags,
+                              const sim::SlotEngine& engine,
+                              const sim::TagSoA* shared) {
+  if (shared != nullptr) {
+    RFID_REQUIRE(shared->size() == tags.size(),
+                 "shared SoA snapshot does not match the tag population");
+    soa_ = shared;
+  } else {
+    ownSoa_.gather(tags, engine.scheme());
+    soa_ = &ownSoa_;
+  }
+  Protocol::blockerIndicesInto(tags, blockers_);
+  activeGathered_ = false;
+}
+
+std::span<const std::size_t> FrameBatcher::gatherActive(
+    std::span<const tags::Tag> tags) {
+  if (activeGathered_) {
+    Protocol::filterStillActive(tags, active_);
+  } else {
+    Protocol::activeTagIndicesInto(tags, active_);
+    activeGathered_ = true;
+  }
+  return active_;
+}
+
+// rfid:hot begin
+std::span<const phy::SlotType> FrameBatcher::runFrame(
+    sim::SlotEngine& engine, std::span<tags::Tag> tags, std::size_t frameSize,
+    std::size_t slotsToRun, common::Rng& rng) {
+  RFID_REQUIRE(soa_ != nullptr, "beginRound must precede runFrame");
+  RFID_REQUIRE(slotsToRun >= 1 && slotsToRun <= frameSize,
+               "frame prefix must be non-empty and within the frame");
+  const std::size_t nActive = active_.size();
+  if (counts_.size() < slotsToRun) {
+    // rfid:hot-allow: high-water-mark growth; steady state reuses storage
+    counts_.resize(slotsToRun);
+  }
+  if (offsets_.size() < slotsToRun + 1) {
+    // rfid:hot-allow: high-water-mark growth; steady state reuses storage
+    offsets_.resize(slotsToRun + 1);
+  }
+  if (draws_.size() < nActive) {
+    // rfid:hot-allow: high-water-mark growth; steady state reuses storage
+    draws_.resize(nActive);
+  }
+  if (detected_.size() < slotsToRun) {
+    // rfid:hot-allow: high-water-mark growth; steady state reuses storage
+    detected_.resize(slotsToRun);
+  }
+
+  // Pass 1 — every active tag draws its slot (the exact draw sequence of
+  // the scalar loops); draws inside the running prefix are committed to
+  // the tag and counted, the rest never contend this frame.
+  std::fill(counts_.begin(),
+            counts_.begin() + static_cast<std::ptrdiff_t>(slotsToRun), 0u);
+  for (std::size_t k = 0; k < nActive; ++k) {
+    const auto slot = static_cast<std::uint32_t>(rng.below(frameSize));
+    draws_[k] = slot;
+    if (slot < slotsToRun) {
+      tags[active_[k]].slotChoice = slot;
+      ++counts_[slot];
+    }
+  }
+
+  // Prefix-sum the counts into CSR row offsets.
+  offsets_[0] = 0;
+  for (std::size_t s = 0; s < slotsToRun; ++s) {
+    offsets_[s + 1] = offsets_[s] + counts_[s];
+  }
+  const std::size_t nHonest = offsets_[slotsToRun];
+  if (responders_.size() < nHonest) {
+    // rfid:hot-allow: high-water-mark growth; steady state reuses storage
+    responders_.resize(nHonest);
+  }
+
+  // Pass 2 — stable placement: walking the active set in ascending tag
+  // order keeps each slot's honest responders in the order the scalar
+  // bucket loop would have pushed them (part of the RNG-order contract).
+  for (std::size_t s = 0; s < slotsToRun; ++s) {
+    counts_[s] = offsets_[s];
+  }
+  for (std::size_t k = 0; k < nActive; ++k) {
+    const std::uint32_t slot = draws_[k];
+    if (slot < slotsToRun) {
+      responders_[counts_[slot]++] = static_cast<std::uint32_t>(active_[k]);
+    }
+  }
+
+  const sim::SlotBatch honest{{responders_.data(), nHonest},
+                              {offsets_.data(), slotsToRun + 1}};
+  engine.runSlotsBatchBlockers(tags, *soa_, honest, blockers_, rng,
+                               {detected_.data(), slotsToRun});
+  return {detected_.data(), slotsToRun};
+}
+// rfid:hot end
+
+}  // namespace rfid::anticollision

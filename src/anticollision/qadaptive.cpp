@@ -25,8 +25,19 @@ bool QAdaptive::run(sim::SlotEngine& engine, std::span<tags::Tag> tags,
   double qFp = initialQ_;
   std::size_t slotsUsed = 0;
 
+  // Q-adaptive cannot emit frames as slot batches: slot s's verdict feeds
+  // slot s+1's responder set (collisions silence their responders until the
+  // next Query, and a Q nudge aborts the frame early), so the frame is not
+  // known at frame start. It stays on the scalar runSlot path and ignores
+  // Protocol::FrameMode; only the budget-consistent frame accounting below
+  // is shared with the batched protocols.
   std::vector<std::size_t> active = activeTagIndices(tags);
   while (!active.empty()) {
+    // A round whose budget is already spent starts no frame (and records
+    // none) — same accounting as FSA/DFSA (DESIGN.md §5e).
+    if (slotsUsed >= maxSlots()) {
+      return false;
+    }
     // Query / QueryAdjust: every active tag (including previously collided,
     // silent ones) redraws its slot counter in [0, 2^Q).
     engine.metrics().recordFrame();

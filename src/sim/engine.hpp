@@ -94,6 +94,20 @@ class SlotEngine {
                      const SlotBatch& batch, common::Rng& rng,
                      std::span<phy::SlotType> detectedOut = {});
 
+  /// Frame-emission entry for the protocol layer: slot s's responders are
+  /// honest.responders[honest.offsets[s] .. honest.offsets[s+1]) followed
+  /// by every index in `blockers` — the "bucket + appended blockers" order
+  /// the scalar frame loops feed runSlot. With no blockers the honest CSR
+  /// is forwarded to runSlotsBatch as-is (zero copies); otherwise the
+  /// blocker-appended rows are materialized into engine-owned scratch,
+  /// grown at high-water marks only. Bit-identity with the scalar loop
+  /// carries over from runSlotsBatch.
+  void runSlotsBatchBlockers(std::span<tags::Tag> tags, const TagSoA& soa,
+                             const SlotBatch& honest,
+                             std::span<const std::size_t> blockers,
+                             common::Rng& rng,
+                             std::span<phy::SlotType> detectedOut = {});
+
   const core::DetectionScheme& scheme() const noexcept { return scheme_; }
   Metrics& metrics() noexcept { return metrics_; }
 
@@ -133,6 +147,9 @@ class SlotEngine {
   std::vector<std::uint64_t> batchAccWords_;
   std::vector<phy::SlotType> batchVerdicts_;
   std::vector<std::size_t> batchResponders_;
+  /// runSlotsBatchBlockers scratch: the blocker-appended CSR rows.
+  std::vector<std::uint32_t> batchRowResponders_;
+  std::vector<std::uint32_t> batchRowOffsets_;
 };
 
 }  // namespace rfid::sim

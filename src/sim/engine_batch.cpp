@@ -25,6 +25,7 @@
 // drives runSlot per slot, so runSlotsBatch is *always* bit-identical to
 // the scalar loop and the fast path is purely an optimization.
 #include <cstdint>
+#include <limits>
 
 #include "common/require.hpp"
 #include "common/simd.hpp"
@@ -129,6 +130,50 @@ void SlotEngine::runSlotsBatch(std::span<tags::Tag> tags, const TagSoA& soa,
   }
   runSlotsBatchPacked(tags, soa, batch, rng, detectedOut);
 }
+
+// rfid:hot begin
+void SlotEngine::runSlotsBatchBlockers(std::span<tags::Tag> tags,
+                                       const TagSoA& soa,
+                                       const SlotBatch& honest,
+                                       std::span<const std::size_t> blockers,
+                                       common::Rng& rng,
+                                       std::span<SlotType> detectedOut) {
+  if (blockers.empty()) {
+    // No per-slot append needed: the honest CSR *is* the batch.
+    runSlotsBatch(tags, soa, honest, rng, detectedOut);
+    return;
+  }
+  const std::size_t slots = honest.slotCount();
+  const std::size_t total =
+      honest.responders.size() + slots * blockers.size();
+  RFID_REQUIRE(total <= std::numeric_limits<std::uint32_t>::max(),
+               "blocker-appended batch exceeds 32-bit CSR indexing");
+  if (batchRowResponders_.size() < total) {
+    // rfid:hot-allow: high-water-mark growth; steady state reuses storage
+    batchRowResponders_.resize(total);
+  }
+  if (batchRowOffsets_.size() < slots + 1) {
+    // rfid:hot-allow: high-water-mark growth; steady state reuses storage
+    batchRowOffsets_.resize(slots + 1);
+  }
+  std::size_t w = 0;
+  batchRowOffsets_[0] = 0;
+  for (std::size_t s = 0; s < slots; ++s) {
+    for (std::uint32_t k = honest.offsets[s]; k < honest.offsets[s + 1];
+         ++k) {
+      batchRowResponders_[w++] = honest.responders[k];
+    }
+    for (const std::size_t b : blockers) {
+      batchRowResponders_[w++] = static_cast<std::uint32_t>(b);
+    }
+    batchRowOffsets_[s + 1] = static_cast<std::uint32_t>(w);
+  }
+  runSlotsBatch(tags, soa,
+                {{batchRowResponders_.data(), w},
+                 {batchRowOffsets_.data(), slots + 1}},
+                rng, detectedOut);
+}
+// rfid:hot end
 
 // rfid:hot begin
 void SlotEngine::runSlotsBatchPacked(std::span<tags::Tag> tags,
