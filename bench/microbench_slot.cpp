@@ -42,6 +42,7 @@
 #include "anticollision/dfsa.hpp"
 #include "anticollision/protocol.hpp"
 #include "bench_support.hpp"
+#include "common/alloc_guard.hpp"
 #include "common/bitvec.hpp"
 #include "common/rng.hpp"
 #include "core/detection_scheme.hpp"
@@ -54,8 +55,22 @@
 #include "sim/trace.hpp"
 #include "tags/population.hpp"
 
+#ifdef RFID_ENFORCE_HOT
+// The RFID_ENFORCE_HOT build already replaces global operator new/delete
+// (src/common/alloc_guard_hooks.cpp); a second replacement in this TU would
+// be a duplicate definition. Count through the guard's process-wide tally
+// instead — same claims, one allocator.
+namespace {
+std::uint64_t currentAllocCount() {
+  return rfid::common::AllocGuard::processAllocations();
+}
+}  // namespace
+#else
 namespace {
 std::atomic<std::uint64_t> gAllocCount{0};
+std::uint64_t currentAllocCount() {
+  return gAllocCount.load(std::memory_order_relaxed);
+}
 }  // namespace
 
 void* operator new(std::size_t n) {
@@ -72,6 +87,7 @@ void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#endif
 
 namespace {
 
@@ -196,14 +212,14 @@ int main() {
       legacySlot(scheme, channel, metrics, tags, responders, rng);
     }
     const std::uint64_t allocsBefore =
-        gAllocCount.load(std::memory_order_relaxed);
+        currentAllocCount();
     const auto t0 = std::chrono::steady_clock::now();
     for (std::size_t s = 0; s < kMeasuredSlots; ++s) {
       legacySlot(scheme, channel, metrics, tags,
                  kSchedule[s % kSchedule.size()], rng);
     }
     const double elapsed = secondsSince(t0);
-    legacyAllocs = gAllocCount.load(std::memory_order_relaxed) - allocsBefore;
+    legacyAllocs = currentAllocCount() - allocsBefore;
     legacySlotsPerSec = static_cast<double>(kMeasuredSlots) / elapsed;
   }
 
@@ -223,13 +239,13 @@ int main() {
       engine.runSlot(tags, responders, rng);
     }
     const std::uint64_t allocsBefore =
-        gAllocCount.load(std::memory_order_relaxed);
+        currentAllocCount();
     const auto t0 = std::chrono::steady_clock::now();
     for (std::size_t s = 0; s < kMeasuredSlots; ++s) {
       engine.runSlot(tags, kSchedule[s % kSchedule.size()], rng);
     }
     const double elapsed = secondsSince(t0);
-    hotAllocs = gAllocCount.load(std::memory_order_relaxed) - allocsBefore;
+    hotAllocs = currentAllocCount() - allocsBefore;
     hotSlotsPerSec = static_cast<double>(kMeasuredSlots) / elapsed;
   }
 
@@ -251,14 +267,14 @@ int main() {
       engine.runSlot(tags, responders, rng);
     }
     const std::uint64_t allocsBefore =
-        gAllocCount.load(std::memory_order_relaxed);
+        currentAllocCount();
     const auto t0 = std::chrono::steady_clock::now();
     for (std::size_t s = 0; s < kMeasuredSlots; ++s) {
       engine.runSlot(tags, kSchedule[s % kSchedule.size()], rng);
     }
     const double elapsed = secondsSince(t0);
     observedAllocs =
-        gAllocCount.load(std::memory_order_relaxed) - allocsBefore;
+        currentAllocCount() - allocsBefore;
     observedSlotsPerSec = static_cast<double>(kMeasuredSlots) / elapsed;
   }
 
@@ -285,14 +301,14 @@ int main() {
       engine.runSlot(tags, responders, rng);
     }
     const std::uint64_t allocsBefore =
-        gAllocCount.load(std::memory_order_relaxed);
+        currentAllocCount();
     const auto t0 = std::chrono::steady_clock::now();
     for (std::size_t s = 0; s < kMeasuredSlots; ++s) {
       engine.runSlot(tags, kSchedule[s % kSchedule.size()], rng);
     }
     const double elapsed = secondsSince(t0);
     impairedAllocs =
-        gAllocCount.load(std::memory_order_relaxed) - allocsBefore;
+        currentAllocCount() - allocsBefore;
     impairedSlotsPerSec = static_cast<double>(kMeasuredSlots) / elapsed;
   }
 
@@ -348,13 +364,13 @@ int main() {
     engine.runSlotsBatch(tags, soa, tile, rng);
     const std::size_t timedSlots = kMeasuredSlots - slotsPerTile;
     const std::uint64_t allocsBefore =
-        gAllocCount.load(std::memory_order_relaxed);
+        currentAllocCount();
     const auto t0 = std::chrono::steady_clock::now();
     for (std::size_t call = 1; call < kMeasuredSlots / slotsPerTile; ++call) {
       engine.runSlotsBatch(tags, soa, tile, rng);
     }
     const double elapsed = secondsSince(t0);
-    batchAllocs = gAllocCount.load(std::memory_order_relaxed) - allocsBefore;
+    batchAllocs = currentAllocCount() - allocsBefore;
     batchSlotsPerSec = static_cast<double>(timedSlots) / elapsed;
     batchMatchesHot = metricsMatch(metrics, hotMetrics);
   }
@@ -404,7 +420,7 @@ int main() {
         protocol.runWithSnapshot(engine, tags, rng, soa);
         const std::uint64_t warmupSlots = pass.metrics.detectedCensus().total();
         const std::uint64_t allocsBefore =
-            gAllocCount.load(std::memory_order_relaxed);
+            currentAllocCount();
         const auto t0 = std::chrono::steady_clock::now();
         for (std::size_t rep = 0; rep < kCensusReps; ++rep) {
           for (Tag& tag : tags) {
@@ -413,7 +429,7 @@ int main() {
           protocol.runWithSnapshot(engine, tags, rng, soa);
         }
         const double elapsed = secondsSince(t0);
-        pass.allocs = gAllocCount.load(std::memory_order_relaxed) -
+        pass.allocs = currentAllocCount() -
                       allocsBefore;
         pass.slots = pass.metrics.detectedCensus().total() - warmupSlots;
         pass.slotsPerSec = static_cast<double>(pass.slots) / elapsed;

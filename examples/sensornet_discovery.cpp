@@ -84,7 +84,9 @@ int main(int argc, char** argv) {
 
   const auto chips = static_cast<std::size_t>(args.getInt("rbe-chips"));
   if (chips > 1) {
-    common::Rng rng(seed + 1);
+    // An independent stream for the RBE demo, derived (not seed+1) so it
+    // can never collide with the discovery run's tag streams.
+    common::Rng rng = common::Rng::forStream(seed, /*stream=*/1);
     const common::BitVec id = rng.bitvec(air.idBits);
     const common::BitVec encoded = privacy::rbeEncode(id, chips, rng);
     std::cout << "\nRBE demo (q = " << chips << "):\n  ID       " << id.toString()

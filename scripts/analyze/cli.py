@@ -1,0 +1,91 @@
+"""Command-line front end (what scripts/check_invariants.py runs).
+
+Usage:
+    python3 scripts/check_invariants.py [--project-root DIR] [ROOT...]
+    python3 scripts/check_invariants.py --sarif out.sarif
+    python3 scripts/check_invariants.py --diff origin/main
+    python3 scripts/check_invariants.py --list-rules [--markdown]
+
+ROOTs default to: src bench examples tests.  Paths in rules and
+allowlists are interpreted relative to --project-root (default: the
+repository root).  Anything under a `lint_fixtures/` directory is
+skipped unless --project-root points inside it (that is how
+tests/test_lint.py exercises the rules).
+
+Exit status: 0 when clean, 1 when any violation is found, 2 on usage
+errors.  Violations print as `path:line: RULE-ID: message`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .engine import (DEFAULT_ROOTS, Violation, changed_lines, collect_files,
+                     filter_to_diff, lint_file)
+from .rules import list_rules_markdown, list_rules_text
+from .sarif import write_sarif
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("roots", nargs="*", default=None,
+                        help=f"directories to scan (default: "
+                             f"{' '.join(DEFAULT_ROOTS)})")
+    parser.add_argument("--project-root", default=None,
+                        help="directory rule paths are relative to "
+                             "(default: the repository root)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
+    parser.add_argument("--markdown", action="store_true",
+                        help="with --list-rules: emit the markdown rule "
+                             "table DESIGN.md embeds")
+    parser.add_argument("--sarif", metavar="PATH", default=None,
+                        help="also write findings as SARIF 2.1.0 to PATH")
+    parser.add_argument("--diff", metavar="BASE", default=None,
+                        help="scan only files changed vs git ref BASE and "
+                             "report only findings on changed lines "
+                             "(structural findings are kept for any "
+                             "changed file)")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        sys.stdout.write(
+            list_rules_markdown() if args.markdown else list_rules_text())
+        return 0
+    if args.markdown:
+        parser.error("--markdown only makes sense with --list-rules")
+
+    project_root = Path(
+        args.project_root
+        or Path(__file__).resolve().parent.parent.parent)
+    roots = args.roots or DEFAULT_ROOTS
+
+    changed = None
+    if args.diff is not None:
+        changed = changed_lines(project_root, args.diff)
+
+    violations: list[Violation] = []
+    scanned = 0
+    for path in collect_files(project_root, roots):
+        relpath = path.relative_to(project_root).as_posix()
+        if changed is not None and relpath not in changed:
+            continue
+        scanned += 1
+        violations.extend(lint_file(path, relpath))
+    if changed is not None:
+        violations = filter_to_diff(violations, changed)
+
+    if args.sarif:
+        write_sarif(Path(args.sarif), violations)
+
+    for v in violations:
+        print(f"{v.relpath}:{v.line}: {v.rule_id}: {v.message}")
+    if violations:
+        print(f"check_invariants: {len(violations)} violation(s) in "
+              f"{scanned} files", file=sys.stderr)
+        return 1
+    suffix = f" (diff vs {args.diff})" if args.diff is not None else ""
+    print(f"check_invariants: {scanned} files clean{suffix}")
+    return 0

@@ -1,0 +1,405 @@
+"""Rule driving: file collection, per-file scanning, and --diff filtering.
+
+Violations are Violation namedtuples; `structural` marks findings that
+are properties of the whole file (unbalanced regions, missing coverage,
+marker/guard mismatches) rather than of one changed line — `--diff`
+keeps those whenever the file changed at all.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import re
+import subprocess
+import sys
+from pathlib import Path
+from typing import NamedTuple
+
+from .lexer import split_code_and_comments
+from .rules import RULES, Rule
+
+SOURCE_EXTENSIONS = {".cpp", ".cc", ".cxx", ".hpp", ".h", ".hh"}
+DEFAULT_ROOTS = ["src", "bench", "examples", "tests"]
+
+HOT_BEGIN = re.compile(r"rfid:hot\s+begin\b")
+HOT_END = re.compile(r"rfid:hot\s+end\b")
+HOT_ALLOW = re.compile(r"rfid:hot-allow:\s*(\S.*)?$")
+NOEXCEPT_ALLOW = re.compile(r"rfid:noexcept-allow:\s*(\S.*)?$")
+NOLINT_TOKEN = re.compile(r"NOLINT(?:NEXTLINE|BEGIN|END)?")
+NOLINT_JUSTIFIED = re.compile(
+    r"NOLINT(?:NEXTLINE|BEGIN)?\([A-Za-z0-9_.,*: -]+\)\s*:\s*\S")
+NOLINT_END_TOKEN = re.compile(r"NOLINTEND\(")
+GUARD_TOKEN = re.compile(r"\bALLOC_GUARD_HOT\b")
+THROW_TOKEN = re.compile(r"\b(throw|try|catch)\b")
+NOEXCEPT_TOKEN = re.compile(r"\bnoexcept\b")
+
+#: First tokens that open control-flow blocks, never function definitions.
+_CONTROL_KEYWORDS = {
+    "if", "for", "while", "switch", "do", "else", "return", "case",
+    "default", "catch", "try", "goto", "break", "continue",
+}
+_TYPE_KEYWORDS = {"class", "struct", "enum", "union", "concept"}
+
+
+class Violation(NamedTuple):
+    relpath: str
+    line: int
+    rule_id: str
+    message: str
+    structural: bool = False
+
+
+class HotRegion(NamedTuple):
+    begin: int  # line of the `rfid:hot begin` marker
+    end: int    # line of `rfid:hot end` (or the last line when unclosed)
+
+
+class FuncDef(NamedTuple):
+    start: int        # first line of the (multi-line) signature
+    brace: int        # line carrying the body-opening `{`
+    header: str       # accumulated signature text
+
+
+def rule_applies(rule: Rule, relpath: str) -> bool:
+    if not any(relpath.startswith(p) for p in rule.scope):
+        return False
+    for pattern in rule.allow:
+        if fnmatch.fnmatch(relpath, pattern):
+            return False
+    return True
+
+
+def find_hot_regions(
+        relpath: str,
+        comment_lines: list[str]) -> tuple[list[HotRegion], list[Violation]]:
+    """Pair up `rfid:hot begin`/`end` markers; balance problems are
+    RFID-HOT-002 structural violations (an unclosed region still extends
+    to EOF so the downstream scans keep covering it)."""
+    regions: list[HotRegion] = []
+    out: list[Violation] = []
+    in_hot = False
+    open_line = 0
+    for lineno, mline in enumerate(comment_lines, 1):
+        if HOT_BEGIN.search(mline):
+            if in_hot:
+                out.append(Violation(
+                    relpath, lineno, "RFID-HOT-002",
+                    "nested `rfid:hot begin` (previous region opened at "
+                    f"line {open_line})", structural=True))
+            in_hot = True
+            open_line = lineno
+            continue
+        if HOT_END.search(mline):
+            if not in_hot:
+                out.append(Violation(
+                    relpath, lineno, "RFID-HOT-002",
+                    "`rfid:hot end` without a matching begin",
+                    structural=True))
+            else:
+                regions.append(HotRegion(open_line, lineno))
+            in_hot = False
+    if in_hot:
+        out.append(Violation(
+            relpath, open_line, "RFID-HOT-002",
+            "`rfid:hot begin` region never closed "
+            "(missing `// rfid:hot end`)", structural=True))
+        regions.append(HotRegion(open_line, len(comment_lines)))
+    return regions, out
+
+
+def _in_region(regions: list[HotRegion], lineno: int) -> bool:
+    return any(r.begin <= lineno <= r.end for r in regions)
+
+
+def scan_function_definitions(code_lines: list[str]) -> list[FuncDef]:
+    """Find namespace/class-scope function definitions by brace tracking
+    over the code view.
+
+    The scanner accumulates a candidate signature between statement
+    boundaries; a `{` that closes a balanced, non-empty parenthesis list
+    whose first token is not a control or type keyword opens a function
+    body.  Bodies (and everything inside them: lambdas, local blocks)
+    are skipped; `namespace`/`class`/`struct` bodies are transparent so
+    member definitions are still found.  Preprocessor lines are ignored
+    wholesale (macro bodies may hold unbalanced braces).
+    """
+    defs: list[FuncDef] = []
+    ctx: list[str] = []  # per open brace: "function" | "other"
+    buf: list[str] = []
+    buf_start = 0
+    parens = 0
+    saw_parens = False
+    top_equals = False
+    in_continuation = False
+
+    def reset() -> None:
+        nonlocal parens, saw_parens, top_equals
+        buf.clear()
+        parens = 0
+        saw_parens = False
+        top_equals = False
+
+    for lineno, line in enumerate(code_lines, 1):
+        stripped = line.strip()
+        if in_continuation or stripped.startswith("#"):
+            in_continuation = stripped.endswith("\\")
+            continue
+        inside_function = "function" in ctx
+        for c in line:
+            if inside_function:
+                if c == "{":
+                    ctx.append("other")
+                elif c == "}":
+                    if ctx:
+                        ctx.pop()
+                    inside_function = "function" in ctx
+                    reset()
+                continue
+            if c == "{":
+                header = "".join(buf).strip()
+                first = header.split(None, 1)[0] if header else ""
+                first = first.split("(")[0].split("<")[0]
+                is_function = (
+                    saw_parens and parens == 0 and not top_equals
+                    and first not in _CONTROL_KEYWORDS
+                    and first not in _TYPE_KEYWORDS
+                    and first != "namespace" and header)
+                if is_function:
+                    defs.append(FuncDef(buf_start or lineno, lineno, header))
+                    ctx.append("function")
+                    inside_function = True
+                else:
+                    ctx.append("other")
+                reset()
+                continue
+            if c == "}":
+                if ctx:
+                    ctx.pop()
+                reset()
+                continue
+            if c == ";":
+                reset()
+                continue
+            if c == "(":
+                parens += 1
+                saw_parens = True
+            elif c == ")":
+                parens = max(0, parens - 1)
+            elif c == "=" and parens == 0:
+                top_equals = True
+            if not buf:
+                if c.isspace():
+                    continue
+                buf_start = lineno
+            buf.append(c)
+        if buf:
+            buf.append(" ")
+    return defs
+
+
+def _hot_allow_lines(comment_lines: list[str], relpath: str,
+                     out: list[Violation]) -> set[int]:
+    """Line numbers exempt from the hot-region allocation patterns: a
+    justified `rfid:hot-allow` covers its own line and the next one."""
+    exempt: set[int] = set()
+    for lineno, mline in enumerate(comment_lines, 1):
+        allow = HOT_ALLOW.search(mline)
+        if not allow:
+            continue
+        if not allow.group(1):
+            out.append(Violation(
+                relpath, lineno, "RFID-HOT-002",
+                "rfid:hot-allow needs a reason: `// rfid:hot-allow: why`"))
+        exempt.add(lineno)
+        exempt.add(lineno + 1)
+    return exempt
+
+
+def lint_file(path: Path, relpath: str) -> list[Violation]:
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as err:
+        return [Violation(relpath, 0, "RFID-IO-003",
+                          f"unreadable file: {err}", structural=True)]
+    code_lines, comment_lines = split_code_and_comments(text)
+    out: list[Violation] = []
+
+    # Pattern rules over the code view.
+    for rule in RULES:
+        if rule.kind != "pattern" or not rule_applies(rule, relpath):
+            continue
+        for lineno, line in enumerate(code_lines, 1):
+            for rx, msg in rule.patterns:
+                if rx.search(line):
+                    out.append(Violation(relpath, lineno, rule.id, msg))
+
+    hot_rule = next(r for r in RULES if r.kind == "hot-region")
+    exc_rule = next(r for r in RULES if r.kind == "exception")
+    guard_rule = next(r for r in RULES if r.kind == "guard")
+    needs_regions = any(
+        rule_applies(r, relpath) for r in (hot_rule, exc_rule, guard_rule))
+    regions: list[HotRegion] = []
+    if needs_regions:
+        regions, balance = find_hot_regions(relpath, comment_lines)
+        if rule_applies(hot_rule, relpath):
+            out.extend(balance)
+
+    # RFID-HOT-002: allocation patterns inside regions.
+    if rule_applies(hot_rule, relpath) and regions:
+        exempt = _hot_allow_lines(comment_lines, relpath, out)
+        for region in regions:
+            for lineno in range(region.begin + 1, region.end):
+                if lineno in exempt:
+                    continue
+                cline = code_lines[lineno - 1]
+                for rx, msg in hot_rule.patterns:
+                    if rx.search(cline):
+                        out.append(Violation(relpath, lineno, hot_rule.id,
+                                             msg))
+
+    # RFID-EXC-008: throw-free, noexcept hot regions.
+    if rule_applies(exc_rule, relpath) and regions:
+        for region in regions:
+            for lineno in range(region.begin + 1, region.end):
+                m = THROW_TOKEN.search(code_lines[lineno - 1])
+                if m:
+                    out.append(Violation(
+                        relpath, lineno, exc_rule.id,
+                        f"`{m.group(1)}` inside an rfid:hot region; slot "
+                        "kernels must not carry unwind paths (use "
+                        "RFID_ASSERT, or hoist validation out of the "
+                        "region)"))
+        for fn in scan_function_definitions(code_lines):
+            if not _in_region(regions, fn.start) and \
+                    not _in_region(regions, fn.brace):
+                continue
+            if NOEXCEPT_TOKEN.search(fn.header):
+                continue
+            allowed = False
+            for lineno in range(max(1, fn.start - 2), fn.brace + 1):
+                m = NOEXCEPT_ALLOW.search(comment_lines[lineno - 1])
+                if m:
+                    if not m.group(1):
+                        out.append(Violation(
+                            relpath, lineno, exc_rule.id,
+                            "rfid:noexcept-allow needs a reason: "
+                            "`// rfid:noexcept-allow: why`"))
+                    allowed = True
+            if not allowed:
+                name = fn.header.split("(")[0].strip().split()[-1] \
+                    if "(" in fn.header else fn.header
+                out.append(Violation(
+                    relpath, fn.start, exc_rule.id,
+                    f"function `{name}` is defined inside an rfid:hot "
+                    "region but is not noexcept (mark it noexcept, or "
+                    "justify with `// rfid:noexcept-allow: why`)"))
+
+    # RFID-GUARD-010: markers and runtime guards agree 1:1.
+    if rule_applies(guard_rule, relpath):
+        guard_lines = [lineno for lineno, line
+                       in enumerate(code_lines, 1)
+                       if GUARD_TOKEN.search(line)]
+        for region in regions:
+            if not any(region.begin < g < region.end for g in guard_lines):
+                out.append(Violation(
+                    relpath, region.begin, guard_rule.id,
+                    "rfid:hot region has no ALLOC_GUARD_HOT() scope; the "
+                    "RFID_ENFORCE_HOT build cannot verify it at runtime",
+                    structural=True))
+        for g in guard_lines:
+            if not _in_region(regions, g):
+                out.append(Violation(
+                    relpath, g, guard_rule.id,
+                    "ALLOC_GUARD_HOT() outside any `rfid:hot` region; the "
+                    "static allocation scan is not covering this guarded "
+                    "code (add the region markers)", structural=True))
+
+    # RFID-HOT-006: kernel files must contain at least one hot region.
+    coverage_rule = next(r for r in RULES if r.kind == "coverage")
+    if (relpath in coverage_rule.required_files
+            and rule_applies(coverage_rule, relpath)):
+        if not any(HOT_BEGIN.search(m) for m in comment_lines):
+            out.append(Violation(
+                relpath, 1, coverage_rule.id,
+                "slot-kernel file has no `// rfid:hot begin` region; the "
+                "zero-alloc hot-path check is not covering this kernel",
+                structural=True))
+
+    # RFID-NOLINT-005: every suppression names a check and a reason.
+    nolint_rule = next(r for r in RULES if r.kind == "nolint")
+    if rule_applies(nolint_rule, relpath):
+        for lineno, mline in enumerate(comment_lines, 1):
+            for m in NOLINT_TOKEN.finditer(mline):
+                rest = mline[m.start():]
+                if NOLINT_END_TOKEN.match(rest):
+                    continue  # the reason lives on the matching NOLINTBEGIN
+                if not NOLINT_JUSTIFIED.match(rest):
+                    out.append(Violation(
+                        relpath, lineno, nolint_rule.id,
+                        "suppression must name a check and a reason: "
+                        "`// NOLINT(check-name): why`"))
+    return out
+
+
+def collect_files(project_root: Path, roots: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for root in roots:
+        base = project_root / root
+        if base.is_file():
+            files.append(base)
+            continue
+        if not base.is_dir():
+            print(f"check_invariants: no such root: {base}", file=sys.stderr)
+            sys.exit(2)
+        for p in sorted(base.rglob("*")):
+            if p.suffix in SOURCE_EXTENSIONS and p.is_file():
+                files.append(p)
+    return [
+        f for f in files
+        if "lint_fixtures" not in f.relative_to(project_root).parts
+    ]
+
+
+def changed_lines(project_root: Path, base: str) -> dict[str, set[int]]:
+    """Map relpath -> line numbers added/modified vs `base` (committed or
+    working-tree), from `git diff -U0`.  Exits 2 when git refuses (bad
+    ref, not a repository)."""
+    proc = subprocess.run(
+        ["git", "-C", str(project_root), "diff", "-U0", base, "--",
+         *[str(project_root / r) for r in DEFAULT_ROOTS]],
+        capture_output=True, text=True, check=False)
+    if proc.returncode not in (0, 1):
+        print(f"check_invariants: git diff {base} failed:\n{proc.stderr}",
+              file=sys.stderr)
+        sys.exit(2)
+    changed: dict[str, set[int]] = {}
+    current: str | None = None
+    hunk = re.compile(r"@@ -\d+(?:,\d+)? \+(\d+)(?:,(\d+))? @@")
+    for line in proc.stdout.splitlines():
+        if line.startswith("+++ "):
+            path = line[4:].strip()
+            current = None if path == "/dev/null" else \
+                path[2:] if path.startswith("b/") else path
+            if current is not None:
+                changed.setdefault(current, set())
+            continue
+        m = hunk.match(line)
+        if m and current is not None:
+            start = int(m.group(1))
+            count = int(m.group(2)) if m.group(2) is not None else 1
+            changed[current].update(range(start, start + count))
+    return changed
+
+
+def filter_to_diff(violations: list[Violation],
+                   changed: dict[str, set[int]]) -> list[Violation]:
+    """Keep line-anchored findings on changed lines, and structural
+    (whole-file) findings for any changed file."""
+    out = []
+    for v in violations:
+        lines = changed.get(v.relpath)
+        if lines is None:
+            continue
+        if v.structural or v.line in lines:
+            out.append(v)
+    return out

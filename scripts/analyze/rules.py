@@ -1,0 +1,288 @@
+"""The declarative rule table.
+
+One table drives everything: the linter itself, `--list-rules`, the
+SARIF rule metadata, and the generated DESIGN.md rule table
+(`--list-rules --markdown`), so rule ids, scopes, and allowlists cannot
+drift between code, fixtures, and docs.
+
+`scope` is a list of path prefixes the rule applies to (relative,
+forward slashes); `allow` maps path globs to the justification for
+exempting them — every entry must say *why*.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Rule:
+    id: str
+    title: str
+    summary: str
+    #: Check family: "pattern" (regex over the code view), "hot-region"
+    #: (allocation patterns inside rfid:hot regions), "nolint"
+    #: (suppression justification over the comment view), "coverage"
+    #: (required_files must carry >= 1 hot region), "exception" (no
+    #: throw / non-noexcept definitions inside hot regions), "guard"
+    #: (static rfid:hot markers and runtime ALLOC_GUARD_HOT scopes must
+    #: agree 1:1).
+    kind: str
+    scope: tuple[str, ...]
+    allow: dict[str, str] = field(default_factory=dict)
+    patterns: tuple[tuple[re.Pattern, str], ...] = ()
+    required_files: tuple[str, ...] = ()
+
+
+RULES: tuple[Rule, ...] = (
+    Rule(
+        id="RFID-DET-001",
+        title="no ambient entropy outside common/rng.hpp",
+        summary=(
+            "Determinism: no std::rand / srand / random_device / time() / "
+            "system_clock::now().  All randomness must flow from a seeded "
+            "common::Rng so censusStreamSeed replay stays bit-identical."),
+        kind="pattern",
+        scope=("src/", "bench/", "examples/", "tests/"),
+        allow={
+            "src/common/rng.hpp": "the one sanctioned seed/entropy boundary",
+        },
+        patterns=(
+            (re.compile(r"\bstd::rand\b|(?<![\w:])s?rand\s*\("),
+             "std::rand/srand bypasses the seeded common::Rng"),
+            (re.compile(r"\brandom_device\b"),
+             "random_device is nondeterministic; derive streams from the "
+             "run seed via Rng::forStream"),
+            (re.compile(r"(?<![\w:.])time\s*\("),
+             "time() is wall-clock entropy; seeds must be explicit"),
+            (re.compile(r"\bsystem_clock::now\s*\(\s*\)"),
+             "system_clock::now() is nondeterministic; use steady_clock "
+             "for durations and explicit seeds for randomness"),
+        ),
+    ),
+    Rule(
+        id="RFID-HOT-002",
+        title="no allocation/growth inside `// rfid:hot` regions",
+        summary=(
+            "Zero-alloc hot paths: no heap allocation or container growth "
+            "inside an `// rfid:hot begin` ... `// rfid:hot end` region.  A "
+            "line may opt out with `// rfid:hot-allow: <reason>` (e.g. "
+            "documented high-water-mark growth)."),
+        kind="hot-region",
+        scope=("src/", "bench/", "examples/", "tests/"),
+        patterns=(
+            (re.compile(r"(?<![\w:])new\b"),
+             "operator new allocates on the slot hot path"),
+            (re.compile(r"\b(?:m|c|re)alloc\s*\("),
+             "malloc/calloc/realloc allocates on the slot hot path"),
+            (re.compile(r"\bmake_(?:unique|shared)\b"),
+             "make_unique/make_shared allocates on the slot hot path"),
+            (re.compile(
+                r"(?:\.|->)\s*(?:push_back|emplace_back|resize|reserve|"
+                r"insert|append)\s*\("),
+             "container growth can reallocate on the slot hot path"),
+        ),
+    ),
+    Rule(
+        id="RFID-IO-003",
+        title="library code is silent (MetricsRegistry, not stdout)",
+        summary=(
+            "Library I/O: no std::cout / printf / fprintf(stdout) / puts / "
+            "abort in library code under src/.  Observability goes through "
+            "MetricsRegistry / RunReport."),
+        kind="pattern",
+        scope=("src/",),
+        allow={
+            "src/common/cli.cpp": "the CLI front end owns user-facing I/O",
+            "src/common/table.cpp": "TextTable is the sanctioned printer",
+        },
+        patterns=(
+            (re.compile(r"\bstd::cout\b"),
+             "std::cout in library code; route through MetricsRegistry "
+             "or RunReport"),
+            (re.compile(r"(?<![\w:])printf\s*\("),
+             "printf in library code; route through MetricsRegistry "
+             "or RunReport"),
+            (re.compile(r"\bfprintf\s*\(\s*stdout\b"),
+             "fprintf(stdout) in library code; route through "
+             "MetricsRegistry or RunReport"),
+            (re.compile(r"(?<![\w:])puts\s*\("),
+             "puts in library code; route through MetricsRegistry"),
+            (re.compile(r"\bstd::abort\b|(?<![\w:])abort\s*\("),
+             "abort() kills the whole service; throw or RFID_REQUIRE"),
+        ),
+    ),
+    Rule(
+        id="RFID-THR-004",
+        title="no naked std::thread outside common/thread_pool.*",
+        summary=(
+            "All parallelism goes through the shared common::ThreadPool so "
+            "RFID_THREADS and cancellation behave."),
+        kind="pattern",
+        scope=("src/", "bench/", "examples/"),
+        allow={
+            "src/common/thread_pool.hpp": "the pool implementation itself",
+            "src/common/thread_pool.cpp": "the pool implementation itself",
+        },
+        patterns=(
+            (re.compile(r"\bstd::j?thread\b"),
+             "spawn work through common::ThreadPool / parallelFor so "
+             "RFID_THREADS and cancellation apply"),
+        ),
+    ),
+    Rule(
+        id="RFID-NOLINT-005",
+        title="NOLINT requires a named check and a reason",
+        summary=(
+            "Suppressions must be justified: every NOLINT / NOLINTNEXTLINE "
+            "/ NOLINTBEGIN must name a check and carry a reason: "
+            "`// NOLINT(check-name): why`."),
+        kind="nolint",
+        scope=("src/", "bench/", "examples/", "tests/"),
+    ),
+    Rule(
+        id="RFID-HOT-006",
+        title="slot-kernel files must carry `rfid:hot` coverage",
+        summary=(
+            "Hot-region coverage: every slot-kernel file (the scalar "
+            "engine, the batch kernel, the packed encode/classify "
+            "primitives, and the frame loops that feed them) must contain "
+            "at least one `// rfid:hot begin` region — otherwise "
+            "RFID-HOT-002 and RFID-EXC-008 have nothing to scan and the "
+            "zero-alloc contract silently stops being checked for that "
+            "kernel."),
+        kind="coverage",
+        scope=("src/",),
+        required_files=(
+            "src/sim/engine.cpp",
+            "src/sim/engine_batch.cpp",
+            "src/core/detection_scheme.cpp",
+            "src/core/qcd.cpp",
+            "src/crc/crc.cpp",
+            "src/phy/channel.cpp",
+            "src/anticollision/protocol.cpp",
+            "src/anticollision/fsa.cpp",
+            "src/anticollision/dfsa.cpp",
+        ),
+    ),
+    Rule(
+        id="RFID-SEED-007",
+        title="stream seeds derive via Rng::forStream, not raw arithmetic",
+        summary=(
+            "Stream-seed hygiene: raw seed arithmetic (`seed + i`, "
+            "`seed ^ x`, ...) invites correlated or colliding streams.  "
+            "All stream derivation goes through Rng::forStream (splitmix64 "
+            "mixing) or the sanctioned named derivations "
+            "(censusStreamSeed, impairmentStreamSeed)."),
+        kind="pattern",
+        scope=("src/", "bench/", "examples/"),
+        allow={
+            "src/common/rng.hpp":
+                "Rng::forStream is the sanctioned derivation",
+            "src/service/census.hpp":
+                "censusStreamSeed is the sanctioned census derivation",
+            "src/phy/impairments/impairment.hpp":
+                "impairmentStreamSeed salts into forStream, the sanctioned "
+                "impairment derivation",
+            "src/service/loadgen.cpp":
+                "request identity, not a stream: each census's RNG streams "
+                "still derive from its seed via forStream",
+            "bench/loadgen_service.cpp":
+                "distinct census request seeds (request identity), not "
+                "stream derivation",
+        },
+        patterns=(
+            (re.compile(
+                r"\b\w*[sS]eed\w*\s*[\^+\-*%]|[\^+\-*%]\s*\w*[sS]eed\w*\b"),
+             "raw seed arithmetic; derive independent streams via "
+             "Rng::forStream (or a sanctioned *StreamSeed helper)"),
+        ),
+    ),
+    Rule(
+        id="RFID-EXC-008",
+        title="hot regions are exception-free and noexcept",
+        summary=(
+            "No throw/try/catch inside `rfid:hot` regions, and every "
+            "function defined in one must be declared noexcept — the slot "
+            "kernels (packed encode/classify, batch superpose) must not "
+            "carry unwind paths.  A function whose REQUIREs are "
+            "deliberately throwing (test-pinned precondition contracts) "
+            "opts out with `// rfid:noexcept-allow: <reason>`."),
+        kind="exception",
+        scope=("src/", "bench/", "examples/", "tests/"),
+    ),
+    Rule(
+        id="RFID-TIME-009",
+        title="library time comes from the cost model, not the clock",
+        summary=(
+            "No steady_clock / chrono timing in library code under "
+            "src/core, src/sim (engine paths), src/anticollision, and "
+            "src/phy: simulated airtime must come from crc/cost_model so "
+            "runs replay bit-identically; wall-clock belongs in bench/ "
+            "and src/service."),
+        kind="pattern",
+        scope=("src/core/", "src/sim/", "src/anticollision/", "src/phy/"),
+        allow={
+            "src/sim/montecarlo.cpp":
+                "MonteCarloStats reports wall-clock throughput for "
+                "observability; it never feeds simulated airtime",
+        },
+        patterns=(
+            (re.compile(
+                r"\bstd::chrono\b|\bchrono\s*::"
+                r"|\b(?:steady|system|high_resolution)_clock\b"),
+             "wall-clock timing in library code; airtime comes from "
+             "crc/cost_model (wall-clock belongs in bench/ or "
+             "src/service)"),
+        ),
+    ),
+    Rule(
+        id="RFID-GUARD-010",
+        title="static `rfid:hot` markers and runtime guards agree 1:1",
+        summary=(
+            "Marker/guard agreement: every `// rfid:hot begin` region must "
+            "contain an ALLOC_GUARD_HOT() scope (so the RFID_ENFORCE_HOT "
+            "build fails the enclosing test on heap activity the static "
+            "patterns missed), and every ALLOC_GUARD_HOT() must sit inside "
+            "a marked region (so the static scan covers everything the "
+            "runtime enforces)."),
+        kind="guard",
+        scope=("src/", "bench/", "examples/", "tests/"),
+        allow={
+            "src/common/alloc_guard.hpp":
+                "defines the ALLOC_GUARD_HOT macro itself",
+        },
+    ),
+)
+
+RULES_BY_ID: dict[str, Rule] = {rule.id: rule for rule in RULES}
+
+
+def list_rules_text() -> str:
+    """The `--list-rules` plain listing."""
+    lines: list[str] = []
+    for rule in RULES:
+        lines.append(f"{rule.id}: {rule.title}")
+        for pattern, reason in rule.allow.items():
+            lines.append(f"    allow {pattern}  # {reason}")
+    return "\n".join(lines) + "\n"
+
+
+def list_rules_markdown() -> str:
+    """The `--list-rules --markdown` table, pasted verbatim into DESIGN.md
+    (tests/test_lint.py fails the build when the two drift apart)."""
+    lines = [
+        "| Rule | Contract | Scope | Allowances |",
+        "| --- | --- | --- | --- |",
+    ]
+    for rule in RULES:
+        scope = " ".join(f"`{s}`" for s in rule.scope)
+        if rule.allow:
+            allowances = "; ".join(
+                f"`{glob}` — {reason}" for glob, reason in rule.allow.items())
+        else:
+            allowances = "—"
+        lines.append(
+            f"| `{rule.id}` | {rule.title} | {scope} | {allowances} |")
+    return "\n".join(lines) + "\n"

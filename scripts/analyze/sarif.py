@@ -1,0 +1,66 @@
+"""SARIF 2.1.0 emission.
+
+One run, one driver (`rfid-invariants`), every rule from the declarative
+table as driver metadata, every violation as an error-level result with
+a single physical location.  The lint CI job uploads the file so
+findings annotate the pull request inline.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .engine import Violation
+from .rules import RULES
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+
+def to_sarif(violations: list[Violation]) -> dict:
+    rule_index = {rule.id: i for i, rule in enumerate(RULES)}
+    results = []
+    for v in violations:
+        results.append({
+            "ruleId": v.rule_id,
+            "ruleIndex": rule_index.get(v.rule_id, -1),
+            "level": "error",
+            "message": {"text": v.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": v.relpath,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {"startLine": max(1, v.line)},
+                },
+            }],
+        })
+    return {
+        "version": SARIF_VERSION,
+        "$schema": SARIF_SCHEMA,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "rfid-invariants",
+                    "informationUri":
+                        "https://example.invalid/rfid-qcd/scripts/analyze",
+                    "rules": [{
+                        "id": rule.id,
+                        "shortDescription": {"text": rule.title},
+                        "fullDescription": {"text": rule.summary},
+                        "defaultConfiguration": {"level": "error"},
+                    } for rule in RULES],
+                },
+            },
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+            "results": results,
+        }],
+    }
+
+
+def write_sarif(path: Path, violations: list[Violation]) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_sarif(violations), indent=2) + "\n",
+                    encoding="utf-8")

@@ -1,428 +1,28 @@
 #!/usr/bin/env python3
-"""Project-specific invariant linter for the QCD reproduction.
+"""Project-specific invariant linter for the QCD reproduction — thin
+entry point over the scripts/analyze package.
 
 Machine-checks the contracts the paper's evaluation depends on, which
-compilers and sanitizers cannot see:
+compilers and sanitizers cannot see: determinism (RFID-DET-001),
+zero-alloc `rfid:hot` regions (RFID-HOT-002), silent library code
+(RFID-IO-003), pooled threading (RFID-THR-004), justified suppressions
+(RFID-NOLINT-005), hot-region coverage (RFID-HOT-006), stream-seed
+hygiene (RFID-SEED-007), exception-free noexcept hot kernels
+(RFID-EXC-008), cost-model-only airtime (RFID-TIME-009), and the
+static-marker/runtime-guard agreement (RFID-GUARD-010).
 
-  RFID-DET-001  Determinism: no ambient entropy (std::rand / srand /
-                std::random_device / time() / system_clock::now) outside
-                common/rng.hpp.  All randomness must flow from a seeded
-                common::Rng so censusStreamSeed replay stays bit-identical.
-  RFID-HOT-002  Zero-alloc hot paths: no heap allocation or container
-                growth inside an `// rfid:hot begin` ... `// rfid:hot end`
-                region (the slot path in core/, phy/, sim/).  A line may
-                opt out with `// rfid:hot-allow: <reason>` (e.g. documented
-                high-water-mark growth).
-  RFID-IO-003   Library I/O: no std::cout / printf / fprintf(stdout) /
-                puts / abort in library code under src/ outside
-                common/cli.cpp and common/table.cpp.  Observability goes
-                through MetricsRegistry / RunReport.
-  RFID-THR-004  No naked std::thread / std::jthread outside
-                common/thread_pool.*.  All parallelism goes through the
-                shared pool so RFID_THREADS and cancellation behave.
-  RFID-NOLINT-005  Suppressions must be justified: every NOLINT /
-                NOLINTNEXTLINE / NOLINTBEGIN must name a check and carry
-                a reason: `// NOLINT(check-name): why`.
-  RFID-HOT-006  Hot-region coverage: every slot-kernel file (the scalar
-                engine, the batch kernel, and the packed encode/classify
-                primitives they call) must contain at least one
-                `// rfid:hot begin` region — otherwise RFID-HOT-002 has
-                nothing to scan and the zero-alloc contract silently
-                stops being checked for that kernel.
-
-Usage:
-    python3 scripts/check_invariants.py [--project-root DIR] [ROOT...]
-    python3 scripts/check_invariants.py --list-rules
-
-ROOTs default to: src bench examples tests.  Paths in rules and
-allowlists are interpreted relative to --project-root (default: the
-repository root, i.e. the parent of this script's directory).  Anything
-under a `lint_fixtures/` directory is skipped unless --project-root
-points inside it (that is how tests/test_lint.py exercises the rules).
-
-Exit status: 0 when clean, 1 when any violation is found, 2 on usage
-errors.  Violations print as `path:line: RULE-ID: message`.
+Run `--list-rules` for the full table (`--markdown` emits the DESIGN.md
+rule table), `--sarif out.sarif` for CI annotations, and
+`--diff origin/main` to scan only changed lines.  See
+scripts/analyze/cli.py for the complete usage text.
 """
 
-from __future__ import annotations
-
-import argparse
-import fnmatch
-import re
 import sys
 from pathlib import Path
 
-SOURCE_EXTENSIONS = {".cpp", ".cc", ".cxx", ".hpp", ".h", ".hh"}
-DEFAULT_ROOTS = ["src", "bench", "examples", "tests"]
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-# --------------------------------------------------------------------------
-# Rule table.  `scope` is a list of path prefixes the rule applies to
-# (relative, forward slashes); `allow` maps path globs to the justification
-# for exempting them — every entry must say *why*.
-# --------------------------------------------------------------------------
-
-RULES = {
-    "RFID-DET-001": {
-        "title": "no ambient entropy outside common/rng.hpp",
-        "scope": ["src/", "bench/", "examples/", "tests/"],
-        "allow": {
-            "src/common/rng.hpp": "the one sanctioned seed/entropy boundary",
-        },
-        "patterns": [
-            (re.compile(r"\bstd::rand\b|(?<![\w:])s?rand\s*\("),
-             "std::rand/srand bypasses the seeded common::Rng"),
-            (re.compile(r"\brandom_device\b"),
-             "random_device is nondeterministic; derive streams from the "
-             "run seed via Rng::forStream"),
-            (re.compile(r"(?<![\w:.])time\s*\("),
-             "time() is wall-clock entropy; seeds must be explicit"),
-            (re.compile(r"\bsystem_clock::now\s*\(\s*\)"),
-             "system_clock::now() is nondeterministic; use steady_clock "
-             "for durations and explicit seeds for randomness"),
-        ],
-    },
-    "RFID-HOT-002": {
-        "title": "no allocation/growth inside `// rfid:hot` regions",
-        "scope": ["src/", "bench/", "examples/", "tests/"],
-        "allow": {},
-        "patterns": [
-            (re.compile(r"(?<![\w:])new\b"),
-             "operator new allocates on the slot hot path"),
-            (re.compile(r"\b(?:m|c|re)alloc\s*\("),
-             "malloc/calloc/realloc allocates on the slot hot path"),
-            (re.compile(r"\bmake_(?:unique|shared)\b"),
-             "make_unique/make_shared allocates on the slot hot path"),
-            (re.compile(
-                r"(?:\.|->)\s*(?:push_back|emplace_back|resize|reserve|"
-                r"insert|append)\s*\("),
-             "container growth can reallocate on the slot hot path"),
-        ],
-    },
-    "RFID-IO-003": {
-        "title": "library code is silent (MetricsRegistry, not stdout)",
-        "scope": ["src/"],
-        "allow": {
-            "src/common/cli.cpp": "the CLI front end owns user-facing I/O",
-            "src/common/table.cpp": "TextTable is the sanctioned printer",
-        },
-        "patterns": [
-            (re.compile(r"\bstd::cout\b"),
-             "std::cout in library code; route through MetricsRegistry "
-             "or RunReport"),
-            (re.compile(r"(?<![\w:])printf\s*\("),
-             "printf in library code; route through MetricsRegistry "
-             "or RunReport"),
-            (re.compile(r"\bfprintf\s*\(\s*stdout\b"),
-             "fprintf(stdout) in library code; route through "
-             "MetricsRegistry or RunReport"),
-            (re.compile(r"(?<![\w:])puts\s*\("),
-             "puts in library code; route through MetricsRegistry"),
-            (re.compile(r"\bstd::abort\b|(?<![\w:])abort\s*\("),
-             "abort() kills the whole service; throw or RFID_REQUIRE"),
-        ],
-    },
-    "RFID-THR-004": {
-        "title": "no naked std::thread outside common/thread_pool.*",
-        "scope": ["src/", "bench/", "examples/"],
-        "allow": {
-            "src/common/thread_pool.hpp": "the pool implementation itself",
-            "src/common/thread_pool.cpp": "the pool implementation itself",
-        },
-        "patterns": [
-            (re.compile(r"\bstd::j?thread\b"),
-             "spawn work through common::ThreadPool / parallelFor so "
-             "RFID_THREADS and cancellation apply"),
-        ],
-    },
-    "RFID-NOLINT-005": {
-        "title": "NOLINT requires a named check and a reason",
-        "scope": ["src/", "bench/", "examples/", "tests/"],
-        "allow": {},
-        "patterns": [],  # handled specially: scans comment text
-    },
-    "RFID-HOT-006": {
-        "title": "slot-kernel files must carry `rfid:hot` coverage",
-        "scope": ["src/"],
-        "allow": {},
-        "patterns": [],  # handled specially: requires >= 1 hot region
-        # The slot hot path's kernel files, plus the framed-ALOHA frame
-        # loops that feed it (FrameBatcher and the scalar reference loops).
-        # A file listed here with no `// rfid:hot begin` region fails:
-        # RFID-HOT-002 only scans inside regions, so an unmarked kernel is
-        # an unchecked kernel.
-        "required_files": [
-            "src/sim/engine.cpp",
-            "src/sim/engine_batch.cpp",
-            "src/core/detection_scheme.cpp",
-            "src/core/qcd.cpp",
-            "src/crc/crc.cpp",
-            "src/phy/channel.cpp",
-            "src/anticollision/protocol.cpp",
-            "src/anticollision/fsa.cpp",
-            "src/anticollision/dfsa.cpp",
-        ],
-    },
-}
-
-HOT_BEGIN = re.compile(r"rfid:hot\s+begin\b")
-HOT_END = re.compile(r"rfid:hot\s+end\b")
-HOT_ALLOW = re.compile(r"rfid:hot-allow:\s*(\S.*)?$")
-NOLINT_TOKEN = re.compile(r"NOLINT(?:NEXTLINE|BEGIN|END)?")
-NOLINT_JUSTIFIED = re.compile(
-    r"NOLINT(?:NEXTLINE|BEGIN)?\([A-Za-z0-9_.,*: -]+\)\s*:\s*\S")
-NOLINT_END_TOKEN = re.compile(r"NOLINTEND\(")
-
-
-def split_code_and_comments(text: str) -> tuple[list[str], list[str]]:
-    """Return (code_lines, comment_lines) with identical line numbering.
-
-    String and character literals are blanked in the code view (so
-    `"time (us)"` never trips a rule); comments are blanked in the code
-    view and collected in the comment view (so markers like rfid:hot and
-    NOLINT are matched only where a human wrote them).  Handles //, block
-    comments, escapes, and raw string literals.
-    """
-    code: list[str] = []
-    comments: list[str] = []
-    n = len(text)
-    i = 0
-    state = "code"  # code | line_comment | block_comment | string | char | raw
-    raw_delim = ""
-    cur_code: list[str] = []
-    cur_comment: list[str] = []
-
-    def endline() -> None:
-        code.append("".join(cur_code))
-        comments.append("".join(cur_comment))
-        cur_code.clear()
-        cur_comment.clear()
-
-    while i < n:
-        c = text[i]
-        if c == "\n":
-            if state == "line_comment":
-                state = "code"
-            endline()
-            i += 1
-            continue
-        if state == "code":
-            two = text[i:i + 2]
-            if two == "//":
-                state = "line_comment"
-                i += 2
-                continue
-            if two == "/*":
-                state = "block_comment"
-                i += 2
-                continue
-            if c == '"':
-                # R"delim( ... )delim"
-                m = re.match(r'R"([^()\\ \t\n]{0,16})\(', text[i - 1:i + 20])
-                if i > 0 and text[i - 1] == "R" and m:
-                    raw_delim = ")" + m.group(1) + '"'
-                    state = "raw"
-                    i += len(m.group(0)) - 1
-                    continue
-                state = "string"
-                cur_code.append(" ")
-                i += 1
-                continue
-            if c == "'":
-                state = "char"
-                cur_code.append(" ")
-                i += 1
-                continue
-            cur_code.append(c)
-            i += 1
-            continue
-        if state == "line_comment":
-            cur_comment.append(c)
-            i += 1
-            continue
-        if state == "block_comment":
-            if text[i:i + 2] == "*/":
-                state = "code"
-                i += 2
-                continue
-            cur_comment.append(c)
-            i += 1
-            continue
-        if state == "string" or state == "char":
-            if c == "\\":
-                i += 2
-                continue
-            if (state == "string" and c == '"') or (
-                    state == "char" and c == "'"):
-                state = "code"
-            i += 1
-            continue
-        if state == "raw":
-            if text[i:i + len(raw_delim)] == raw_delim:
-                state = "code"
-                i += len(raw_delim)
-                continue
-            i += 1
-            continue
-    endline()
-    return code, comments
-
-
-def rule_applies(rule: dict, relpath: str) -> bool:
-    if not any(relpath.startswith(p) for p in rule["scope"]):
-        return False
-    for pattern in rule["allow"]:
-        if fnmatch.fnmatch(relpath, pattern):
-            return False
-    return True
-
-
-def lint_file(path: Path, relpath: str) -> list[tuple[str, int, str, str]]:
-    """Return violations as (relpath, line, rule_id, message)."""
-    try:
-        text = path.read_text(encoding="utf-8", errors="replace")
-    except OSError as err:
-        return [(relpath, 0, "RFID-IO-003", f"unreadable file: {err}")]
-    code_lines, comment_lines = split_code_and_comments(text)
-    out: list[tuple[str, int, str, str]] = []
-
-    # Pattern-based rules over the code view.
-    for rule_id in ("RFID-DET-001", "RFID-IO-003", "RFID-THR-004"):
-        rule = RULES[rule_id]
-        if not rule_applies(rule, relpath):
-            continue
-        for lineno, line in enumerate(code_lines, 1):
-            for rx, msg in rule["patterns"]:
-                if rx.search(line):
-                    out.append((relpath, lineno, rule_id, msg))
-
-    # RFID-HOT-002: region tracking via comment markers.
-    hot_rule = RULES["RFID-HOT-002"]
-    if rule_applies(hot_rule, relpath):
-        in_hot = False
-        hot_open_line = 0
-        allow_next = False
-        for lineno, (cline, mline) in enumerate(
-                zip(code_lines, comment_lines), 1):
-            if HOT_BEGIN.search(mline):
-                if in_hot:
-                    out.append((relpath, lineno, "RFID-HOT-002",
-                                "nested `rfid:hot begin` (previous region "
-                                f"opened at line {hot_open_line})"))
-                in_hot = True
-                hot_open_line = lineno
-                continue
-            if HOT_END.search(mline):
-                if not in_hot:
-                    out.append((relpath, lineno, "RFID-HOT-002",
-                                "`rfid:hot end` without a matching begin"))
-                in_hot = False
-                continue
-            if not in_hot:
-                continue
-            allow = HOT_ALLOW.search(mline)
-            if allow:
-                if not allow.group(1):
-                    out.append((relpath, lineno, "RFID-HOT-002",
-                                "rfid:hot-allow needs a reason: "
-                                "`// rfid:hot-allow: why`"))
-                # Justified exemption: covers this line and, when the
-                # marker stands alone, the line below it.
-                allow_next = True
-                continue
-            exempt = allow_next
-            allow_next = False
-            if exempt:
-                continue
-            for rx, msg in hot_rule["patterns"]:
-                if rx.search(cline):
-                    out.append((relpath, lineno, "RFID-HOT-002", msg))
-        if in_hot:
-            out.append((relpath, hot_open_line, "RFID-HOT-002",
-                        "`rfid:hot begin` region never closed "
-                        "(missing `// rfid:hot end`)"))
-
-    # RFID-HOT-006: kernel files must contain at least one hot region so
-    # RFID-HOT-002 actually covers them.
-    coverage_rule = RULES["RFID-HOT-006"]
-    if (relpath in coverage_rule["required_files"]
-            and rule_applies(coverage_rule, relpath)):
-        if not any(HOT_BEGIN.search(m) for m in comment_lines):
-            out.append((relpath, 1, "RFID-HOT-006",
-                        "slot-kernel file has no `// rfid:hot begin` region; "
-                        "the zero-alloc hot-path check is not covering this "
-                        "kernel"))
-
-    # RFID-NOLINT-005: every suppression names a check and carries a reason.
-    nolint_rule = RULES["RFID-NOLINT-005"]
-    if rule_applies(nolint_rule, relpath):
-        for lineno, mline in enumerate(comment_lines, 1):
-            for m in NOLINT_TOKEN.finditer(mline):
-                rest = mline[m.start():]
-                if NOLINT_END_TOKEN.match(rest):
-                    continue  # the reason lives on the matching NOLINTBEGIN
-                if not NOLINT_JUSTIFIED.match(rest):
-                    out.append((relpath, lineno, "RFID-NOLINT-005",
-                                "suppression must name a check and a "
-                                "reason: `// NOLINT(check-name): why`"))
-    return out
-
-
-def collect_files(project_root: Path, roots: list[str]) -> list[Path]:
-    files: list[Path] = []
-    for root in roots:
-        base = project_root / root
-        if base.is_file():
-            files.append(base)
-            continue
-        if not base.is_dir():
-            print(f"check_invariants: no such root: {base}", file=sys.stderr)
-            sys.exit(2)
-        for p in sorted(base.rglob("*")):
-            if p.suffix in SOURCE_EXTENSIONS and p.is_file():
-                files.append(p)
-    return [
-        f for f in files
-        if "lint_fixtures" not in f.relative_to(project_root).parts
-    ]
-
-
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("roots", nargs="*", default=None,
-                        help=f"directories to scan (default: "
-                             f"{' '.join(DEFAULT_ROOTS)})")
-    parser.add_argument("--project-root", default=None,
-                        help="directory rule paths are relative to "
-                             "(default: the repository root)")
-    parser.add_argument("--list-rules", action="store_true",
-                        help="print the rule table and exit")
-    args = parser.parse_args()
-
-    if args.list_rules:
-        for rule_id, rule in RULES.items():
-            print(f"{rule_id}: {rule['title']}")
-            for pattern, reason in rule["allow"].items():
-                print(f"    allow {pattern}  # {reason}")
-        return 0
-
-    project_root = Path(args.project_root or Path(__file__).parent.parent)
-    roots = args.roots or DEFAULT_ROOTS
-    violations: list[tuple[str, int, str, str]] = []
-    scanned = 0
-    for path in collect_files(project_root, roots):
-        relpath = path.relative_to(project_root).as_posix()
-        scanned += 1
-        violations.extend(lint_file(path, relpath))
-
-    for relpath, lineno, rule_id, msg in violations:
-        print(f"{relpath}:{lineno}: {rule_id}: {msg}")
-    if violations:
-        print(f"check_invariants: {len(violations)} violation(s) in "
-              f"{scanned} files", file=sys.stderr)
-        return 1
-    print(f"check_invariants: {scanned} files clean")
-    return 0
-
+from analyze.cli import main  # noqa: E402
 
 if __name__ == "__main__":
     sys.exit(main())

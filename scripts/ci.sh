@@ -13,16 +13,54 @@
 # ThreadSanitizer (-DRFID_SANITIZE=thread) and runs the thread-pool,
 # Monte-Carlo, bounded-queue, inventory-service, and load-generator tests.
 #
-# `sh scripts/ci.sh lint` runs the static-analysis gate (clang-tidy with
-# the checked-in .clang-tidy, scripts/check_invariants.py, and the
-# clang-format drift check) — see scripts/lint.sh.
+# `sh scripts/ci.sh asan` builds the whole tree under Address+UBSanitizer
+# (-DRFID_SANITIZE=address,undefined, fatal-on-report) and runs the full
+# tier-1 suite.
+#
+# `sh scripts/ci.sh enforce` builds with -DRFID_ENFORCE_HOT=ON — the
+# replaceable operator new/delete hooks plus armed ALLOC_GUARD_HOT()
+# scopes — runs the full tier-1 suite (any heap allocation inside a
+# guarded rfid:hot region fails the owning test binary at exit), then
+# reruns microbench_slot so its zero-steady-state-alloc claim is
+# reproduced by the guard counters themselves.
+#
+# `sh scripts/ci.sh lint [--diff BASE]` runs the static-analysis gate
+# (clang-tidy with the checked-in .clang-tidy,
+# scripts/check_invariants.py with SARIF output, and the clang-format
+# drift check) — see scripts/lint.sh; extra arguments pass through.
 set -eu
 cd "$(dirname "$0")/.."
 
 mode="${1:-default}"
 
 if [ "$mode" = "lint" ]; then
-  sh scripts/lint.sh
+  shift
+  sh scripts/lint.sh "$@"
+  exit 0
+fi
+
+if [ "$mode" = "asan" ]; then
+  cmake -B build-asan -S . -DRFID_SANITIZE=address,undefined \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-asan -j "$(nproc 2>/dev/null || echo 4)"
+  ctest --test-dir build-asan --output-on-failure \
+    -j "$(nproc 2>/dev/null || echo 4)"
+  echo "ci.sh: asan green"
+  exit 0
+fi
+
+if [ "$mode" = "enforce" ]; then
+  cmake -B build-enforce -S . -DRFID_ENFORCE_HOT=ON -DRFID_WERROR=ON
+  cmake --build build-enforce -j "$(nproc 2>/dev/null || echo 4)"
+  ctest --test-dir build-enforce --output-on-failure \
+    -j "$(nproc 2>/dev/null || echo 4)"
+  # Exits nonzero if any guarded hot region allocated; the steady-state
+  # counts in BENCH_slot.json come from AllocGuard::processAllocations().
+  enforcedir=$(mktemp -d)
+  trap 'rm -rf "$enforcedir"' EXIT
+  RFID_JSON="$enforcedir/BENCH_slot.json" ./build-enforce/bench/microbench_slot
+  python3 scripts/validate_report.py "$enforcedir/BENCH_slot.json"
+  echo "ci.sh: enforce green"
   exit 0
 fi
 

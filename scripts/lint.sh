@@ -4,12 +4,19 @@
 # `sh scripts/ci.sh lint`); CI runs it as the `lint` job.
 #
 #   1. cmake configure (exports build/compile_commands.json);
-#   2. scripts/check_invariants.py — the project-specific rules
-#      (determinism, rfid:hot zero-alloc regions, silent library code,
-#      no naked threads, justified NOLINTs); always runs, pure python;
+#   2. scripts/check_invariants.py — the project-specific rules (see
+#      `--list-rules` for the ten-rule table); always runs, pure python.
+#      Findings are also written as SARIF 2.1.0 to build/lint.sarif for
+#      the CI annotation upload;
 #   3. clang-tidy with the checked-in .clang-tidy over every translation
 #      unit in src/ bench/ examples/ tests/, warnings-as-errors;
 #   4. scripts/format.sh --check — clang-format dry run.
+#
+# `sh scripts/lint.sh --diff BASE` passes the ref through to the
+# invariant linter: only files changed vs BASE are scanned and only
+# findings on changed lines are reported — the fast pre-push check
+# (`--diff origin/main`).  clang-tidy and the format check still cover
+# the full tree.
 #
 # clang-tidy / clang-format are found via find_tool (plain name first,
 # then versioned apt names).  A missing binary SKIPs that step with a
@@ -17,6 +24,21 @@
 # boxes without LLVM; CI installs both, so nothing is skipped there.
 set -eu
 cd "$(dirname "$0")/.."
+
+diff_base=""
+while [ "$#" -gt 0 ]; do
+  case "$1" in
+    --diff)
+      [ "$#" -ge 2 ] || { echo "lint.sh: --diff needs a git ref" >&2; exit 2; }
+      diff_base="$2"
+      shift 2
+      ;;
+    *)
+      echo "lint.sh: unknown argument '$1' (usage: lint.sh [--diff BASE])" >&2
+      exit 2
+      ;;
+  esac
+done
 
 fail=0
 
@@ -38,7 +60,13 @@ test -f build/compile_commands.json || {
 }
 
 echo "=== lint: invariant linter ==="
-python3 scripts/check_invariants.py src bench examples tests || fail=1
+if [ -n "$diff_base" ]; then
+  python3 scripts/check_invariants.py --sarif build/lint.sarif \
+    --diff "$diff_base" src bench examples tests || fail=1
+else
+  python3 scripts/check_invariants.py --sarif build/lint.sarif \
+    src bench examples tests || fail=1
+fi
 
 echo "=== lint: clang-tidy ==="
 if TIDY=$(find_tool clang-tidy); then

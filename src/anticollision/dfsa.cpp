@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <span>
 
+#include "common/alloc_guard.hpp"
 #include "common/require.hpp"
 
 namespace rfid::anticollision {
@@ -93,8 +94,11 @@ bool DynamicFsa::runBatched(sim::SlotEngine& engine, std::span<tags::Tag> tags,
 // draws in the same order, same frame accounting, same truncation
 // behaviour); tests/test_frame_batch.cpp diffs the two end to end.
 // rfid:hot begin
+// rfid:noexcept-allow: drives the scalar runSlot, which owns the throwing
+// per-slot API checks
 bool DynamicFsa::runScalar(sim::SlotEngine& engine, std::span<tags::Tag> tags,
                            common::Rng& rng) {
+  ALLOC_GUARD_HOT();
   blockerIndicesInto(tags, blockersScratch_);
   std::size_t frameSize = initialFrame_;
   std::size_t slotsUsed = 0;
@@ -116,6 +120,7 @@ bool DynamicFsa::runScalar(sim::SlotEngine& engine, std::span<tags::Tag> tags,
     const bool anyResponse =
         !activeScratch_.empty() || !blockersScratch_.empty();
     if (buckets_.size() < slotsToRun) {
+      ALLOC_GUARD_ALLOW();
       // rfid:hot-allow: high-water-mark growth; steady state reuses storage
       buckets_.resize(slotsToRun);
     }
@@ -130,7 +135,7 @@ bool DynamicFsa::runScalar(sim::SlotEngine& engine, std::span<tags::Tag> tags,
         // never contends this frame), matching the batched path.
         tags[idx].slotChoice = slot;
         // rfid:hot-allow: amortized bucket growth, reused across frames
-        buckets_[slot].push_back(idx);
+        common::pushBackAmortized(buckets_[slot], idx);
       }
     }
 
@@ -140,6 +145,13 @@ bool DynamicFsa::runScalar(sim::SlotEngine& engine, std::span<tags::Tag> tags,
       std::span<const std::size_t> slotResponders = buckets_[s];
       if (!blockersScratch_.empty()) {
         respondersScratch_.clear();
+        const std::size_t needed =
+            buckets_[s].size() + blockersScratch_.size();
+        if (respondersScratch_.capacity() < needed) {
+          ALLOC_GUARD_ALLOW();
+          // rfid:hot-allow: amortized responder growth, reused across slots
+          respondersScratch_.reserve(needed);
+        }
         // rfid:hot-allow: amortized responder growth, reused across slots
         respondersScratch_.insert(respondersScratch_.end(), buckets_[s].begin(),
                                   buckets_[s].end());

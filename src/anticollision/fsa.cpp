@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/alloc_guard.hpp"
 #include "common/require.hpp"
 
 namespace rfid::anticollision {
@@ -66,11 +67,15 @@ bool FramedSlottedAloha::runBatched(sim::SlotEngine& engine,
 // draws in the same order, same frame accounting, same truncation
 // behaviour); tests/test_frame_batch.cpp diffs the two end to end.
 // rfid:hot begin
+// rfid:noexcept-allow: drives the scalar runSlot, which owns the throwing
+// per-slot API checks
 bool FramedSlottedAloha::runScalar(sim::SlotEngine& engine,
                                    std::span<tags::Tag> tags,
                                    common::Rng& rng) {
+  ALLOC_GUARD_HOT();
   blockerIndicesInto(tags, blockersScratch_);
   if (buckets_.size() < frameSize_) {
+    ALLOC_GUARD_ALLOW();
     // rfid:hot-allow: high-water-mark growth; steady state reuses storage
     buckets_.resize(frameSize_);
   }
@@ -103,13 +108,20 @@ bool FramedSlottedAloha::runScalar(sim::SlotEngine& engine,
         // never contends this frame), matching the batched path.
         tags[idx].slotChoice = slot;
         // rfid:hot-allow: amortized bucket growth, reused across frames
-        buckets_[slot].push_back(idx);
+        common::pushBackAmortized(buckets_[slot], idx);
       }
     }
     for (std::size_t s = 0; s < slotsToRun; ++s) {
       std::span<const std::size_t> slotResponders = buckets_[s];
       if (!blockersScratch_.empty()) {
         respondersScratch_.clear();
+        const std::size_t needed =
+            buckets_[s].size() + blockersScratch_.size();
+        if (respondersScratch_.capacity() < needed) {
+          ALLOC_GUARD_ALLOW();
+          // rfid:hot-allow: amortized responder growth, reused across slots
+          respondersScratch_.reserve(needed);
+        }
         // rfid:hot-allow: amortized responder growth, reused across slots
         respondersScratch_.insert(respondersScratch_.end(), buckets_[s].begin(),
                                   buckets_[s].end());

@@ -13,6 +13,7 @@
 
 #include <algorithm>
 
+#include "common/alloc_guard.hpp"
 #include "common/require.hpp"
 
 namespace rfid::anticollision {
@@ -44,26 +45,33 @@ std::span<const std::size_t> FrameBatcher::gatherActive(
 }
 
 // rfid:hot begin
+// rfid:noexcept-allow: the beginRound-ordering and frame-prefix REQUIREs
+// are test-pinned API contracts
 std::span<const phy::SlotType> FrameBatcher::runFrame(
     sim::SlotEngine& engine, std::span<tags::Tag> tags, std::size_t frameSize,
     std::size_t slotsToRun, common::Rng& rng) {
+  ALLOC_GUARD_HOT();
   RFID_REQUIRE(soa_ != nullptr, "beginRound must precede runFrame");
   RFID_REQUIRE(slotsToRun >= 1 && slotsToRun <= frameSize,
                "frame prefix must be non-empty and within the frame");
   const std::size_t nActive = active_.size();
   if (counts_.size() < slotsToRun) {
+    ALLOC_GUARD_ALLOW();
     // rfid:hot-allow: high-water-mark growth; steady state reuses storage
     counts_.resize(slotsToRun);
   }
   if (offsets_.size() < slotsToRun + 1) {
+    ALLOC_GUARD_ALLOW();
     // rfid:hot-allow: high-water-mark growth; steady state reuses storage
     offsets_.resize(slotsToRun + 1);
   }
   if (draws_.size() < nActive) {
+    ALLOC_GUARD_ALLOW();
     // rfid:hot-allow: high-water-mark growth; steady state reuses storage
     draws_.resize(nActive);
   }
   if (detected_.size() < slotsToRun) {
+    ALLOC_GUARD_ALLOW();
     // rfid:hot-allow: high-water-mark growth; steady state reuses storage
     detected_.resize(slotsToRun);
   }
@@ -89,6 +97,7 @@ std::span<const phy::SlotType> FrameBatcher::runFrame(
   }
   const std::size_t nHonest = offsets_[slotsToRun];
   if (responders_.size() < nHonest) {
+    ALLOC_GUARD_ALLOW();
     // rfid:hot-allow: high-water-mark growth; steady state reuses storage
     responders_.resize(nHonest);
   }

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/alloc_guard.hpp"
 #include "common/rng.hpp"
 #include "sim/engine.hpp"
 #include "sim/tag_soa.hpp"
@@ -175,7 +176,10 @@ inline void Protocol::activeTagIndicesInto(std::span<const tags::Tag> tags,
   out.clear();
   for (std::size_t i = 0; i < tags.size(); ++i) {
     if (!tags[i].blocker && !tags[i].believesIdentified) {
-      out.push_back(i);
+      // Amortized: the scalar reference loops call this under an active
+      // allocation guard, and the scratch vector's capacity is reused
+      // across frames.
+      common::pushBackAmortized(out, i);
     }
   }
 }
@@ -185,7 +189,8 @@ inline void Protocol::blockerIndicesInto(std::span<const tags::Tag> tags,
   out.clear();
   for (std::size_t i = 0; i < tags.size(); ++i) {
     if (tags[i].blocker) {
-      out.push_back(i);
+      // Amortized for the same reason as activeTagIndicesInto.
+      common::pushBackAmortized(out, i);
     }
   }
 }

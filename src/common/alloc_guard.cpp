@@ -1,0 +1,85 @@
+#include "common/alloc_guard.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace rfid::common {
+
+namespace alloc_guard_detail {
+
+thread_local TlsState tls;
+
+namespace {
+// constexpr-initialized: safe to touch from operator new before main.
+std::atomic<std::uint64_t> gProcessAllocations{0};
+std::atomic<std::uint64_t> gProcessViolations{0};
+// Diagnostics are capped so a badly violating loop does not flood stderr;
+// the counts stay exact.
+std::atomic<int> gPrintBudget{32};
+}  // namespace
+
+void recordAlloc(std::size_t bytes) noexcept {
+  ++tls.allocations;
+  tls.bytes += bytes;
+  gProcessAllocations.fetch_add(1, std::memory_order_relaxed);
+  if (tls.guardDepth > 0 && tls.allowDepth == 0) {
+    ++tls.violations;
+    gProcessViolations.fetch_add(1, std::memory_order_relaxed);
+    if (gPrintBudget.fetch_sub(1, std::memory_order_relaxed) > 0) {
+      std::fprintf(stderr,
+                   "AllocGuard: %zu-byte heap allocation inside guarded hot "
+                   "scope `%s`\n",
+                   bytes, tls.site != nullptr ? tls.site : "?");
+    }
+  }
+}
+
+void recordDealloc() noexcept { ++tls.deallocations; }
+
+}  // namespace alloc_guard_detail
+
+namespace detail = alloc_guard_detail;
+
+AllocGuard::AllocGuard(const char* site) noexcept
+    : prevSite_(detail::tls.site),
+      allocationsAtEntry_(detail::tls.allocations),
+      violationsAtEntry_(detail::tls.violations) {
+  ++detail::tls.guardDepth;
+  detail::tls.site = site;
+}
+
+AllocGuard::~AllocGuard() {
+  --detail::tls.guardDepth;
+  detail::tls.site = prevSite_;
+}
+
+std::uint64_t AllocGuard::allocations() const noexcept {
+  return detail::tls.allocations - allocationsAtEntry_;
+}
+
+std::uint64_t AllocGuard::violations() const noexcept {
+  return detail::tls.violations - violationsAtEntry_;
+}
+
+std::uint64_t AllocGuard::threadAllocations() noexcept {
+  return detail::tls.allocations;
+}
+
+std::uint64_t AllocGuard::processAllocations() noexcept {
+  return detail::gProcessAllocations.load(std::memory_order_relaxed);
+}
+
+std::uint64_t AllocGuard::processViolations() noexcept {
+  return detail::gProcessViolations.load(std::memory_order_relaxed);
+}
+
+void AllocGuard::resetProcessViolationsForTest() noexcept {
+  detail::gProcessViolations.store(0, std::memory_order_relaxed);
+  detail::tls.violations = 0;
+}
+
+AllocGuardAllow::AllocGuardAllow() noexcept { ++detail::tls.allowDepth; }
+
+AllocGuardAllow::~AllocGuardAllow() { --detail::tls.allowDepth; }
+
+}  // namespace rfid::common

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "common/alloc_guard.hpp"
 #include "common/require.hpp"
 
 namespace rfid::common {
@@ -22,7 +23,7 @@ BitVec BitVec::fromUint(std::uint64_t value, std::size_t nbits) {
 void BitVec::resize(std::size_t nbits, bool value) {
   const std::size_t oldSize = size_;
   if (nbits == oldSize) return;
-  words_.resize(wordCount(nbits), 0);
+  resizeWords(wordCount(nbits));
   size_ = nbits;
   if (nbits > oldSize && value) {
     const std::size_t firstWord = oldSize / kWordBits;
@@ -40,7 +41,7 @@ void BitVec::assignUint(std::uint64_t value, std::size_t nbits) {
   RFID_REQUIRE(nbits <= 64, "fromUint supports at most 64 bits");
   RFID_REQUIRE(nbits == 64 || (value >> nbits) == 0,
                "value does not fit in nbits bits");
-  words_.resize(wordCount(nbits));
+  resizeWords(wordCount(nbits));
   size_ = nbits;
   if (!words_.empty()) {
     words_[0] = value;
@@ -48,7 +49,7 @@ void BitVec::assignUint(std::uint64_t value, std::size_t nbits) {
 }
 
 void BitVec::assignFill(std::size_t nbits, bool value) {
-  words_.resize(wordCount(nbits));
+  resizeWords(wordCount(nbits));
   size_ = nbits;
   std::fill(words_.begin(), words_.end(),
             value ? ~std::uint64_t{0} : std::uint64_t{0});
@@ -57,7 +58,7 @@ void BitVec::assignFill(std::size_t nbits, bool value) {
 
 void BitVec::assignOr(const BitVec& a, const BitVec& b) {
   RFID_REQUIRE(a.size_ == b.size_, "operands must have equal size");
-  words_.resize(a.words_.size());
+  resizeWords(a.words_.size());
   size_ = a.size_;
   for (std::size_t i = 0; i < words_.size(); ++i) {
     words_[i] = a.words_[i] | b.words_[i];
@@ -183,7 +184,7 @@ BitVec& BitVec::concatInto(const BitVec& rhs) {
   const std::size_t shift = size_ % kWordBits;
   const std::size_t base = size_ / kWordBits;
   size_ += rhs.size_;
-  words_.resize(wordCount(size_), 0);
+  resizeWords(wordCount(size_));
   for (std::size_t i = 0; i < rhs.words_.size(); ++i) {
     const std::uint64_t w = rhs.words_[i];
     words_[base + i] |= (shift == 0) ? w : (w << shift);
@@ -203,7 +204,7 @@ void BitVec::appendUint(std::uint64_t value, std::size_t nbits) {
   const std::size_t shift = size_ % kWordBits;
   const std::size_t base = size_ / kWordBits;
   size_ += nbits;
-  words_.resize(wordCount(size_), 0);
+  resizeWords(wordCount(size_));
   words_[base] |= (shift == 0) ? value : (value << shift);
   if (shift != 0 && base + 1 < words_.size()) {
     words_[base + 1] |= value >> (kWordBits - shift);
@@ -220,7 +221,7 @@ BitVec BitVec::slice(std::size_t pos, std::size_t len) const {
 void BitVec::sliceInto(std::size_t pos, std::size_t len, BitVec& out) const {
   RFID_REQUIRE(&out != this, "sliceInto cannot alias its source");
   RFID_REQUIRE(pos + len <= size_, "slice out of range");
-  out.words_.resize(wordCount(len));
+  out.resizeWords(wordCount(len));
   out.size_ = len;
   const std::size_t shift = pos % kWordBits;
   const std::size_t base = pos / kWordBits;
@@ -257,6 +258,18 @@ std::size_t BitVec::hash() const noexcept {
     h = (h ^ w) * kPrime;
   }
   return static_cast<std::size_t>(h);
+}
+
+void BitVec::resizeWords(std::size_t nWords) {
+  if (nWords > words_.capacity()) {
+    // High-water growth: every in-place assign* / *Into API funnels its
+    // word-storage sizing through here, so reuse within capacity is
+    // guard-clean and only genuine growth is sanctioned.
+    ALLOC_GUARD_ALLOW();
+    words_.resize(nWords);
+  } else {
+    words_.resize(nWords);
+  }
 }
 
 void BitVec::clearPadding() noexcept {

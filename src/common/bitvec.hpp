@@ -145,6 +145,10 @@ class BitVec {
   /// Zeroes the unused high bits of the last word so that the word array is
   /// canonical (equality and popcount rely on this).
   void clearPadding() noexcept;
+  /// words_.resize with the (rare) beyond-capacity growth sanctioned as
+  /// high-water-mark growth under the RFID_ENFORCE_HOT allocation guards;
+  /// in-place reuse within capacity stays enforced allocation-free.
+  void resizeWords(std::size_t nWords);
 
   std::vector<std::uint64_t> words_;
   std::size_t size_ = 0;

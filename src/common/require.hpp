@@ -9,6 +9,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/alloc_guard.hpp"
+
 namespace rfid::common {
 
 /// Thrown when a documented API precondition is violated.
@@ -18,6 +20,10 @@ class PreconditionError : public std::invalid_argument {
 };
 
 [[noreturn]] inline void throwPrecondition(const char* cond, const char* what) {
+  // Failure path: building the diagnostic (and the exception object)
+  // allocates by design — the contract is already broken by the time we
+  // get here, so the zero-alloc guard stands down.
+  ALLOC_GUARD_ALLOW();
   throw PreconditionError(std::string("precondition violated: ") + cond +
                           " — " + what);
 }

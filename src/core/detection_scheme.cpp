@@ -1,5 +1,6 @@
 #include "core/detection_scheme.hpp"
 
+#include "common/alloc_guard.hpp"
 #include "common/require.hpp"
 
 namespace rfid::core {
@@ -16,6 +17,9 @@ BitVec DetectionScheme::idFromContention(const BitVec& /*signal*/) const {
 void DetectionScheme::contentionSignalInto(const tags::Tag& tag,
                                            common::Rng& tagRng,
                                            BitVec& out) const {
+  // Fallback for custom schemes without an in-place override: allocating by
+  // contract (the allocation-free guarantee only covers built-in schemes).
+  ALLOC_GUARD_ALLOW();
   out = contentionSignal(tag, tagRng);
 }
 
@@ -43,8 +47,11 @@ void DetectionScheme::packedDraw(common::Rng& /*tagRng*/,
 }
 
 // rfid:hot begin
+// rfid:noexcept-allow: loops over the virtual packedDraw, whose base
+// implementation throws for schemes without per-slot packed support
 void DetectionScheme::packedDrawRun(common::Rng& tagRng, std::size_t n,
                                     std::uint64_t* out) const {
+  ALLOC_GUARD_HOT();
   const std::size_t stride = contentionWords();
   for (std::size_t i = 0; i < n; ++i) {
     packedDraw(tagRng, out + i * stride);
@@ -65,7 +72,8 @@ namespace {
 // rfid:hot begin
 /// Bits [pos, pos + width) of a packed word array as an integer (width ≤ 64).
 std::uint64_t extractBits(const std::uint64_t* words, std::size_t pos,
-                          unsigned width) {
+                          unsigned width) noexcept {
+  ALLOC_GUARD_HOT();
   const std::size_t wi = pos / 64;
   const unsigned shift = static_cast<unsigned>(pos % 64);
   std::uint64_t v = words[wi] >> shift;
@@ -77,7 +85,8 @@ std::uint64_t extractBits(const std::uint64_t* words, std::size_t pos,
   return v & mask;
 }
 
-bool allWordsZero(const std::uint64_t* words, std::size_t count) {
+bool allWordsZero(const std::uint64_t* words, std::size_t count) noexcept {
+  ALLOC_GUARD_HOT();
   std::uint64_t acc = 0;
   for (std::size_t w = 0; w < count; ++w) {
     acc |= words[w];
@@ -115,12 +124,17 @@ BitVec CrcCdScheme::contentionSignal(const tags::Tag& tag,
 }
 
 // rfid:hot begin
+// rfid:noexcept-allow: the ID-length REQUIRE is a test-pinned public contract
 void CrcCdScheme::contentionSignalInto(const tags::Tag& tag,
                                        common::Rng& /*tagRng*/,
                                        BitVec& out) const {
+  ALLOC_GUARD_HOT();
   RFID_REQUIRE(tag.id.size() == air().idBits,
                "tag ID length must match the air interface");
-  out = tag.id;
+  // In-place copy (not operator=): sliceInto routes any first-call storage
+  // growth through BitVec's sanctioned high-water-mark path, so steady
+  // state stays guard-clean under RFID_ENFORCE_HOT.
+  tag.id.sliceInto(0, tag.id.size(), out);
   out.appendUint(engine_.computeBits(tag.id), engine_.spec().width);
 }
 // rfid:hot end
@@ -143,7 +157,9 @@ SlotType CrcCdScheme::classify(const std::optional<BitVec>& signal,
 // rfid:hot begin
 void CrcCdScheme::classifyPacked(const std::uint64_t* superposed,
                                  const std::uint32_t* slotOffsets,
-                                 std::size_t count, SlotType* out) const {
+                                 std::size_t count, SlotType* out) const
+    noexcept {
+  ALLOC_GUARD_HOT();
   const std::size_t words = contentionWords();
   const std::size_t idBits = air().idBits;
   const unsigned width = engine_.spec().width;
@@ -196,13 +212,17 @@ BitVec QcdScheme::contentionSignal(const tags::Tag& tag,
 }
 
 // rfid:hot begin
+// rfid:noexcept-allow: encodeInto carries the r-range REQUIRE
 void QcdScheme::contentionSignalInto(const tags::Tag& /*tag*/,
                                      common::Rng& tagRng, BitVec& out) const {
+  ALLOC_GUARD_HOT();
   preamble_.encodeInto(preamble_.draw(tagRng), out);
 }
 
+// rfid:noexcept-allow: inspect carries the preamble-length REQUIRE
 SlotType QcdScheme::classify(const std::optional<BitVec>& signal,
                              std::size_t /*trueResponders*/) const {
+  ALLOC_GUARD_HOT();
   if (!signal.has_value() || signal->none()) {
     return SlotType::kIdle;
   }
@@ -213,19 +233,25 @@ SlotType QcdScheme::classify(const std::optional<BitVec>& signal,
 // rfid:hot end
 
 // rfid:hot begin
-void QcdScheme::packedDraw(common::Rng& tagRng, std::uint64_t* out) const {
-  // One draw, exactly like contentionSignalInto.
+void QcdScheme::packedDraw(common::Rng& tagRng,
+                           std::uint64_t* out) const noexcept {
+  ALLOC_GUARD_HOT();
+  // One draw, exactly like contentionSignalInto; draw() satisfies
+  // encodeWords' r-range contract by construction.
   preamble_.encodeWords(preamble_.draw(tagRng), out);
 }
 
 void QcdScheme::packedDrawRun(common::Rng& tagRng, std::size_t n,
-                              std::uint64_t* out) const {
+                              std::uint64_t* out) const noexcept {
+  ALLOC_GUARD_HOT();
   preamble_.drawEncodeRun(tagRng, n, out);
 }
 
 void QcdScheme::classifyPacked(const std::uint64_t* superposed,
                                const std::uint32_t* slotOffsets,
-                               std::size_t count, SlotType* out) const {
+                               std::size_t count, SlotType* out) const
+    noexcept {
+  ALLOC_GUARD_HOT();
   preamble_.inspectPacked(superposed, slotOffsets, count, out);
 }
 // rfid:hot end
@@ -267,9 +293,11 @@ BitVec CrcPreambleScheme::contentionSignal(const tags::Tag& tag,
 }
 
 // rfid:hot begin
+// rfid:noexcept-allow: BitVec's word accessors carry range REQUIREs
 void CrcPreambleScheme::contentionSignalInto(const tags::Tag& /*tag*/,
                                              common::Rng& tagRng,
                                              BitVec& out) const {
+  ALLOC_GUARD_HOT();
   // The CRC is computed over `out` while it still holds only the r part.
   out.assignUint(tagRng.between(1, maxR_), randomBits_);
   out.appendUint(engine_.computeBits(out), engine_.spec().width);
@@ -308,10 +336,13 @@ BitVec IdealScheme::contentionSignal(const tags::Tag& tag,
 }
 
 // rfid:hot begin
+// rfid:noexcept-allow: sliceInto validates the slice range
 void IdealScheme::contentionSignalInto(const tags::Tag& tag,
                                        common::Rng& /*tagRng*/,
                                        BitVec& out) const {
-  out = tag.id;
+  ALLOC_GUARD_HOT();
+  // In-place copy (see CrcCdScheme::contentionSignalInto).
+  tag.id.sliceInto(0, tag.id.size(), out);
 }
 // rfid:hot end
 
@@ -328,7 +359,9 @@ BitVec IdealScheme::idFromContention(const BitVec& signal) const {
 // rfid:hot begin
 void IdealScheme::classifyPacked(const std::uint64_t* /*superposed*/,
                                  const std::uint32_t* slotOffsets,
-                                 std::size_t count, SlotType* out) const {
+                                 std::size_t count, SlotType* out) const
+    noexcept {
+  ALLOC_GUARD_HOT();
   // The oracle ignores the signal: the CSR offsets are the ground truth.
   for (std::size_t i = 0; i < count; ++i) {
     const std::uint32_t n = slotOffsets[i + 1] - slotOffsets[i];

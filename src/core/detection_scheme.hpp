@@ -164,7 +164,7 @@ class CrcCdScheme final : public DetectionScheme {
   }
   void classifyPacked(const std::uint64_t* superposed,
                       const std::uint32_t* slotOffsets, std::size_t count,
-                      phy::SlotType* out) const override;
+                      phy::SlotType* out) const noexcept override;
 
   const crc::CrcEngine& engine() const noexcept { return engine_; }
 
@@ -199,12 +199,13 @@ class QcdScheme final : public DetectionScheme {
   PackedKind packedKind() const noexcept override {
     return PackedKind::kPerSlot;
   }
-  void packedDraw(common::Rng& tagRng, std::uint64_t* out) const override;
+  void packedDraw(common::Rng& tagRng,
+                  std::uint64_t* out) const noexcept override;
   void packedDrawRun(common::Rng& tagRng, std::size_t n,
-                     std::uint64_t* out) const override;
+                     std::uint64_t* out) const noexcept override;
   void classifyPacked(const std::uint64_t* superposed,
                       const std::uint32_t* slotOffsets, std::size_t count,
-                      phy::SlotType* out) const override;
+                      phy::SlotType* out) const noexcept override;
 
   const QcdPreamble& preamble() const noexcept { return preamble_; }
   unsigned strength() const noexcept { return preamble_.strength(); }
@@ -272,7 +273,7 @@ class IdealScheme final : public DetectionScheme {
   }
   void classifyPacked(const std::uint64_t* superposed,
                       const std::uint32_t* slotOffsets, std::size_t count,
-                      phy::SlotType* out) const override;
+                      phy::SlotType* out) const noexcept override;
 };
 
 }  // namespace rfid::core

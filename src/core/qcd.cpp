@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/alloc_guard.hpp"
 #include "common/require.hpp"
 #include "common/simd.hpp"
 
@@ -13,12 +14,12 @@ namespace rfid::core {
 
 using common::BitVec;
 
-QcdPreamble::QcdPreamble(unsigned strength)
-    : strength_(strength),
-      maxR_(strength == 64 ? ~std::uint64_t{0}
-                           : ((std::uint64_t{1} << strength) - 1)) {
+QcdPreamble::QcdPreamble(unsigned strength) : strength_(strength), maxR_(0) {
+  // Validate before deriving maxR_: the shift below is UB for strength > 64.
   RFID_REQUIRE(strength >= 1 && strength <= 64,
                "QCD strength must be in [1, 64]");
+  maxR_ = strength == 64 ? ~std::uint64_t{0}
+                         : ((std::uint64_t{1} << strength) - 1);
 }
 
 std::uint64_t QcdPreamble::draw(common::Rng& rng) const {
@@ -32,7 +33,9 @@ BitVec QcdPreamble::encode(std::uint64_t r) const {
 }
 
 // rfid:hot begin
+// rfid:noexcept-allow: the r-range REQUIRE is a test-pinned public contract
 void QcdPreamble::encodeInto(std::uint64_t r, BitVec& out) const {
+  ALLOC_GUARD_HOT();
   RFID_REQUIRE(r >= 1 && r <= maxR_, "r must be a positive l-bit integer");
   // f(r) = ~r restricted to l bits is r ^ maxR_; the whole preamble is one
   // or two word-level stores.
@@ -42,7 +45,9 @@ void QcdPreamble::encodeInto(std::uint64_t r, BitVec& out) const {
 // rfid:hot end
 
 // rfid:hot begin
+// rfid:noexcept-allow: the length REQUIRE is a test-pinned public contract
 QcdPreamble::Verdict QcdPreamble::inspect(const BitVec& superposed) const {
+  ALLOC_GUARD_HOT();
   RFID_REQUIRE(superposed.size() == bits(),
                "superposed preamble has the wrong length");
   // r′ occupies bits [0, l), c′ bits [l, 2l); with l ≤ 64 both live in the
@@ -65,7 +70,10 @@ QcdPreamble::Verdict QcdPreamble::inspect(const BitVec& superposed) const {
 // rfid:hot end
 
 // rfid:hot begin
+// rfid:noexcept-allow: validates the public r-range contract; packed
+// callers pass draw() results that satisfy it by construction
 void QcdPreamble::encodeWords(std::uint64_t r, std::uint64_t* out) const {
+  ALLOC_GUARD_HOT();
   RFID_REQUIRE(r >= 1 && r <= maxR_, "r must be a positive l-bit integer");
   // Mirrors the word layout of encodeInto: r occupies bits [0, l), the
   // checking code f(r) = r ^ maxR_ bits [l, 2l).
@@ -92,7 +100,8 @@ namespace {
 /// rejection, same modulo — so the words and RNG consumption don't change.
 template <unsigned kStrength>
 void drawEncodeRunFixed(rfid::common::Rng& rng, std::size_t n,
-                        std::uint64_t* out) {
+                        std::uint64_t* out) noexcept {
+  ALLOC_GUARD_HOT();
   constexpr std::uint64_t kMax = (std::uint64_t{1} << kStrength) - 1;
   for (std::size_t i = 0; i < n; ++i) {
     const std::uint64_t r = rng.between(1, kMax);
@@ -105,7 +114,8 @@ void drawEncodeRunFixed(rfid::common::Rng& rng, std::size_t n,
 
 // rfid:hot begin
 void QcdPreamble::drawEncodeRun(common::Rng& rng, std::size_t n,
-                                std::uint64_t* out) const {
+                                std::uint64_t* out) const noexcept {
+  ALLOC_GUARD_HOT();
   // Draw order matches n successive draw()+encodeWords() pairs exactly; the
   // precondition r ∈ [1, maxR] holds by construction of between(), so the
   // loop bodies are pure draw + store.
@@ -155,7 +165,8 @@ namespace {
 __attribute__((target("avx2"))) void inspectPackedAvx2(
     const std::uint64_t* superposed, const std::uint32_t* slotOffsets,
     std::size_t count, unsigned strength, std::uint64_t maxR,
-    phy::SlotType* out) {
+    phy::SlotType* out) noexcept {
+  ALLOC_GUARD_HOT();
   const __m256i vMax = _mm256_set1_epi64x(static_cast<long long>(maxR));
   const __m256i vZero = _mm256_setzero_si256();
   const __m256i vOne = _mm256_set1_epi64x(1);
@@ -203,7 +214,9 @@ __attribute__((target("avx2"))) void inspectPackedAvx2(
 // rfid:hot begin
 void QcdPreamble::inspectPacked(const std::uint64_t* superposed,
                                 const std::uint32_t* slotOffsets,
-                                std::size_t count, phy::SlotType* out) const {
+                                std::size_t count, phy::SlotType* out) const
+    noexcept {
+  ALLOC_GUARD_HOT();
   if (2ull * strength_ <= 64) {
 #if RFID_SIMD_AVX2_COMPILED
     if (common::simd::avx2Enabled()) {

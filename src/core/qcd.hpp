@@ -67,7 +67,7 @@ class QcdPreamble {
   /// of the loop — the batch kernel encodes a whole run of honest
   /// responders in one call.
   void drawEncodeRun(common::Rng& rng, std::size_t n,
-                     std::uint64_t* out) const;
+                     std::uint64_t* out) const noexcept;
 
   /// Batch Algorithm 1: classifies `count` slots whose OR-superposed packed
   /// preambles are stored contiguously in `superposed` (count × words()
@@ -79,7 +79,7 @@ class QcdPreamble {
   /// uint64_t path covers everything and is bit-identical.
   void inspectPacked(const std::uint64_t* superposed,
                      const std::uint32_t* slotOffsets, std::size_t count,
-                     phy::SlotType* out) const;
+                     phy::SlotType* out) const noexcept;
 
   /// Probability that m concurrent responders evade detection (all drew the
   /// same r): (2^l − 1)^−(m−1); 0 for m ≤ 1. The paper states 2^−l(m−1),

@@ -1,5 +1,6 @@
 #include "crc/crc.hpp"
 
+#include "common/alloc_guard.hpp"
 #include "common/require.hpp"
 
 namespace rfid::crc {
@@ -171,7 +172,8 @@ std::uint64_t CrcEngine::computeBits(const BitVec& bits,
 
 // rfid:hot begin
 std::uint64_t CrcEngine::computeWords(const std::uint64_t* words,
-                                      std::size_t nbits) const {
+                                      std::size_t nbits) const noexcept {
+  ALLOC_GUARD_HOT();
   // Same serial LFSR core as computeBits, reading packed words directly.
   std::uint64_t reg = coreInit();
   const std::uint64_t top = topBit();

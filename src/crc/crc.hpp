@@ -85,7 +85,7 @@ class CrcEngine {
   /// computeWords(v.words, v.size()) == computeBits(v). Used by the batch
   /// slot kernel, which superposes signals as raw words without a BitVec.
   std::uint64_t computeWords(const std::uint64_t* words,
-                             std::size_t nbits) const;
+                             std::size_t nbits) const noexcept;
 
   /// Size of the byte-wise lookup table in bits (the tag-memory cost the
   /// paper cites: 256 entries × width).

@@ -1,5 +1,6 @@
 #include "phy/channel.hpp"
 
+#include "common/alloc_guard.hpp"
 #include "common/require.hpp"
 
 namespace rfid::phy {
@@ -10,16 +11,27 @@ namespace {
 
 // rfid:hot begin
 /// Engages out.signal (keeping any existing word storage) and returns it.
-BitVec& signalScratch(Reception& out) {
+BitVec& signalScratch(Reception& out) noexcept {
+  ALLOC_GUARD_HOT();
   if (!out.signal.has_value()) {
     out.signal.emplace();
   }
   return *out.signal;
 }
 
+/// Copies `src` into the scratch signal through BitVec's sanctioned
+/// high-water-mark growth path (operator= would reallocate outside it on
+/// the first slot of a larger signal).
+// rfid:noexcept-allow: sliceInto validates the slice range
+void copyIntoScratch(const BitVec& src, Reception& out) {
+  src.sliceInto(0, src.size(), signalScratch(out));
+}
+
+// rfid:noexcept-allow: the equal-length REQUIRE is a test-pinned contract
 void orAllInto(std::span<const BitVec> transmissions, Reception& out) {
-  BitVec& sum = signalScratch(out);
-  sum = transmissions.front();
+  ALLOC_GUARD_HOT();
+  copyIntoScratch(transmissions.front(), out);
+  BitVec& sum = *out.signal;
   for (std::size_t i = 1; i < transmissions.size(); ++i) {
     RFID_REQUIRE(transmissions[i].size() == sum.size(),
                  "superposed signals must be equally long");
@@ -40,8 +52,10 @@ Reception Channel::superpose(std::span<const BitVec> transmissions,
 }
 
 // rfid:hot begin
+// rfid:noexcept-allow: orAllInto carries the equal-length REQUIRE
 void OrChannel::superposeInto(std::span<const BitVec> transmissions,
                               common::Rng& /*rng*/, Reception& out) {
+  ALLOC_GUARD_HOT();
   out.capturedIndex.reset();
   out.erased = false;
   out.corrupted = false;
@@ -63,8 +77,10 @@ CaptureChannel::CaptureChannel(double captureProbability)
 }
 
 // rfid:hot begin
+// rfid:noexcept-allow: orAllInto carries the equal-length REQUIRE
 void CaptureChannel::superposeInto(std::span<const BitVec> transmissions,
                                    common::Rng& rng, Reception& out) {
+  ALLOC_GUARD_HOT();
   out.capturedIndex.reset();
   out.erased = false;
   out.corrupted = false;
@@ -73,13 +89,13 @@ void CaptureChannel::superposeInto(std::span<const BitVec> transmissions,
     return;
   }
   if (transmissions.size() == 1) {
-    signalScratch(out) = transmissions.front();
+    copyIntoScratch(transmissions.front(), out);
     out.capturedIndex = 0;
     return;
   }
   if (rng.chance(p_)) {
     const std::size_t winner = rng.below(transmissions.size());
-    signalScratch(out) = transmissions[winner];
+    copyIntoScratch(transmissions[winner], out);
     out.capturedIndex = winner;
     return;
   }

@@ -1,5 +1,6 @@
 #include "phy/impairments/bsc.hpp"
 
+#include "common/alloc_guard.hpp"
 #include "common/require.hpp"
 
 namespace rfid::phy {
@@ -19,7 +20,8 @@ bool BscImpairment::transmissionPass(std::uint64_t /*slotIndex*/,
                                      std::size_t /*txIndex*/,
                                      common::BitVec& tx,
                                      common::Rng& slotRng,
-                                     ImpairmentStats& stats) {
+                                     ImpairmentStats& stats) noexcept {
+  ALLOC_GUARD_HOT();
   stats.bitsFlippedTagToReader += flipBitsIid(tx, tagToReaderBer_, slotRng);
   return true;
 }
@@ -27,7 +29,8 @@ bool BscImpairment::transmissionPass(std::uint64_t /*slotIndex*/,
 void BscImpairment::receptionPass(std::uint64_t /*slotIndex*/,
                                   common::BitVec& signal,
                                   common::Rng& slotRng,
-                                  ImpairmentStats& stats) {
+                                  ImpairmentStats& stats) noexcept {
+  ALLOC_GUARD_HOT();
   stats.bitsFlippedDetection += flipBitsIid(signal, detectionBer_, slotRng);
 }
 // rfid:hot end

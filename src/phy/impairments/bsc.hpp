@@ -16,9 +16,10 @@ class BscImpairment final : public Impairment {
   std::string name() const override;
   bool transmissionPass(std::uint64_t slotIndex, std::size_t txIndex,
                         common::BitVec& tx, common::Rng& slotRng,
-                        ImpairmentStats& stats) override;
+                        ImpairmentStats& stats) noexcept override;
   void receptionPass(std::uint64_t slotIndex, common::BitVec& signal,
-                     common::Rng& slotRng, ImpairmentStats& stats) override;
+                     common::Rng& slotRng,
+                     ImpairmentStats& stats) noexcept override;
 
   double tagToReaderBer() const noexcept { return tagToReaderBer_; }
   double detectionBer() const noexcept { return detectionBer_; }

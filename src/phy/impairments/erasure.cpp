@@ -1,5 +1,6 @@
 #include "phy/impairments/erasure.hpp"
 
+#include "common/alloc_guard.hpp"
 #include "common/require.hpp"
 
 namespace rfid::phy {
@@ -17,7 +18,8 @@ std::string ErasureImpairment::name() const { return "erasure"; }
 // rfid:hot begin
 bool ErasureImpairment::erasesSlot(std::uint64_t /*slotIndex*/,
                                    common::Rng& slotRng,
-                                   ImpairmentStats& /*stats*/) {
+                                   ImpairmentStats& /*stats*/) noexcept {
+  ALLOC_GUARD_HOT();
   if (slotFade_ <= 0.0) return false;
   return slotRng.chance(slotFade_);
 }
@@ -26,7 +28,8 @@ bool ErasureImpairment::transmissionPass(std::uint64_t /*slotIndex*/,
                                          std::size_t /*txIndex*/,
                                          common::BitVec& /*tx*/,
                                          common::Rng& slotRng,
-                                         ImpairmentStats& /*stats*/) {
+                                         ImpairmentStats& /*stats*/) noexcept {
+  ALLOC_GUARD_HOT();
   if (transmissionLoss_ <= 0.0) return true;
   return !slotRng.chance(transmissionLoss_);
 }

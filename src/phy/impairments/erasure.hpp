@@ -19,10 +19,10 @@ class ErasureImpairment final : public Impairment {
 
   std::string name() const override;
   bool erasesSlot(std::uint64_t slotIndex, common::Rng& slotRng,
-                  ImpairmentStats& stats) override;
+                  ImpairmentStats& stats) noexcept override;
   bool transmissionPass(std::uint64_t slotIndex, std::size_t txIndex,
                         common::BitVec& tx, common::Rng& slotRng,
-                        ImpairmentStats& stats) override;
+                        ImpairmentStats& stats) noexcept override;
 
   double transmissionLoss() const noexcept { return transmissionLoss_; }
   double slotFade() const noexcept { return slotFade_; }

@@ -47,7 +47,8 @@ std::string FaultInjector::name() const { return "fault-injector"; }
 
 // rfid:hot begin
 void FaultInjector::slotRange(std::uint64_t slotIndex, std::size_t& first,
-                              std::size_t& last) {
+                              std::size_t& last) noexcept {
+  ALLOC_GUARD_HOT();
   while (cursor_ < faults_.size() && faults_[cursor_].slot < slotIndex) {
     ++cursor_;
   }
@@ -60,7 +61,8 @@ void FaultInjector::slotRange(std::uint64_t slotIndex, std::size_t& first,
 
 bool FaultInjector::erasesSlot(std::uint64_t slotIndex,
                                common::Rng& /*slotRng*/,
-                               ImpairmentStats& stats) {
+                               ImpairmentStats& stats) noexcept {
+  ALLOC_GUARD_HOT();
   std::size_t first = 0;
   std::size_t last = 0;
   slotRange(slotIndex, first, last);
@@ -76,7 +78,8 @@ bool FaultInjector::erasesSlot(std::uint64_t slotIndex,
 bool FaultInjector::transmissionPass(std::uint64_t slotIndex,
                                      std::size_t txIndex, common::BitVec& tx,
                                      common::Rng& /*slotRng*/,
-                                     ImpairmentStats& stats) {
+                                     ImpairmentStats& stats) noexcept {
+  ALLOC_GUARD_HOT();
   std::size_t first = 0;
   std::size_t last = 0;
   slotRange(slotIndex, first, last);
@@ -99,7 +102,8 @@ bool FaultInjector::transmissionPass(std::uint64_t slotIndex,
 void FaultInjector::receptionPass(std::uint64_t slotIndex,
                                   common::BitVec& signal,
                                   common::Rng& /*slotRng*/,
-                                  ImpairmentStats& stats) {
+                                  ImpairmentStats& stats) noexcept {
+  ALLOC_GUARD_HOT();
   std::size_t first = 0;
   std::size_t last = 0;
   slotRange(slotIndex, first, last);

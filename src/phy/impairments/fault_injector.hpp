@@ -45,12 +45,13 @@ class FaultInjector final : public Impairment {
 
   std::string name() const override;
   bool erasesSlot(std::uint64_t slotIndex, common::Rng& slotRng,
-                  ImpairmentStats& stats) override;
+                  ImpairmentStats& stats) noexcept override;
   bool transmissionPass(std::uint64_t slotIndex, std::size_t txIndex,
                         common::BitVec& tx, common::Rng& slotRng,
-                        ImpairmentStats& stats) override;
+                        ImpairmentStats& stats) noexcept override;
   void receptionPass(std::uint64_t slotIndex, common::BitVec& signal,
-                     common::Rng& slotRng, ImpairmentStats& stats) override;
+                     common::Rng& slotRng,
+                     ImpairmentStats& stats) noexcept override;
 
   std::size_t faultCount() const noexcept { return faults_.size(); }
 
@@ -58,7 +59,7 @@ class FaultInjector final : public Impairment {
   /// Advances the cursor past slots before `slotIndex` and returns the
   /// half-open range [first, last) of faults scripted for it.
   void slotRange(std::uint64_t slotIndex, std::size_t& first,
-                 std::size_t& last);
+                 std::size_t& last) noexcept;
 
   std::vector<Fault> faults_;
   std::size_t cursor_ = 0;

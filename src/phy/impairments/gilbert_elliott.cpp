@@ -1,5 +1,6 @@
 #include "phy/impairments/gilbert_elliott.hpp"
 
+#include "common/alloc_guard.hpp"
 #include "common/require.hpp"
 
 namespace rfid::phy {
@@ -29,7 +30,8 @@ bool GilbertElliottImpairment::transmissionPass(std::uint64_t /*slotIndex*/,
                                                 std::size_t /*txIndex*/,
                                                 common::BitVec& tx,
                                                 common::Rng& slotRng,
-                                                ImpairmentStats& stats) {
+                                                ImpairmentStats& stats) noexcept {
+  ALLOC_GUARD_HOT();
   // A fully-zero parameterization is a no-op channel; skip the per-bit walk
   // entirely so it costs (and draws) nothing.
   if (goodToBad_ <= 0.0 && berGood_ <= 0.0 && !bad_) {

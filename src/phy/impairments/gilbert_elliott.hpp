@@ -26,7 +26,7 @@ class GilbertElliottImpairment final : public Impairment {
   std::string name() const override;
   bool transmissionPass(std::uint64_t slotIndex, std::size_t txIndex,
                         common::BitVec& tx, common::Rng& slotRng,
-                        ImpairmentStats& stats) override;
+                        ImpairmentStats& stats) noexcept override;
 
   bool inBadState() const noexcept { return bad_; }
 

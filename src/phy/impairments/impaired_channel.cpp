@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/alloc_guard.hpp"
 #include "common/require.hpp"
 
 namespace rfid::phy {
@@ -31,8 +32,11 @@ void ImpairedChannel::beginSlot(std::uint64_t slotIndex) {
 }
 
 // rfid:hot begin
+// rfid:noexcept-allow: the inner channel's superposeInto carries the
+// test-pinned equal-length REQUIRE
 void ImpairedChannel::superposeInto(std::span<const BitVec> transmissions,
                                     Rng& rng, Reception& out) {
+  ALLOC_GUARD_HOT();
   const std::uint64_t slot = currentSlot_;
   if (!externallyDriven_ && !transmissions.empty()) {
     ++currentSlot_;
@@ -67,6 +71,7 @@ void ImpairedChannel::superposeInto(std::span<const BitVec> transmissions,
   // Tag→reader leg: copy each transmission into owned scratch (the
   // caller's span is const), flip/drop it, and compact the survivors.
   if (txScratch_.size() < transmissions.size()) {
+    ALLOC_GUARD_ALLOW();
     // rfid:hot-allow: high-water-mark growth; steady state reuses storage
     txScratch_.resize(transmissions.size());
     // rfid:hot-allow: high-water-mark growth; steady state reuses storage
@@ -77,7 +82,9 @@ void ImpairedChannel::superposeInto(std::span<const BitVec> transmissions,
   std::size_t live = 0;
   for (std::size_t i = 0; i < transmissions.size(); ++i) {
     BitVec& copy = txScratch_[live];
-    copy = transmissions[i];
+    // In-place copy: sliceInto routes any first-call storage growth through
+    // BitVec's sanctioned high-water-mark path (operator= would not).
+    transmissions[i].sliceInto(0, transmissions[i].size(), copy);
     const std::uint64_t flipsBefore = stats_.bitsFlippedTagToReader;
     bool kept = true;
     for (const auto& imp : impairments_) {

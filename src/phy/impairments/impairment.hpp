@@ -29,6 +29,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/alloc_guard.hpp"
 #include "common/bitvec.hpp"
 #include "common/rng.hpp"
 
@@ -93,7 +94,8 @@ class Impairment {
 /// number of flips. The p <= 0 early-out draws nothing, so a zero-rate
 /// model consumes no randomness (the BER-0 bit-identity guarantee).
 inline std::uint64_t flipBitsIid(common::BitVec& v, double p,
-                                 common::Rng& rng) {
+                                 common::Rng& rng) noexcept {
+  ALLOC_GUARD_HOT();
   if (p <= 0.0) return 0;
   std::uint64_t flips = 0;
   const std::size_t n = v.size();

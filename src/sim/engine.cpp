@@ -1,5 +1,6 @@
 #include "sim/engine.hpp"
 
+#include "common/alloc_guard.hpp"
 #include "common/require.hpp"
 
 namespace rfid::sim {
@@ -11,9 +12,12 @@ SlotEngine::SlotEngine(const core::DetectionScheme& scheme,
     : scheme_(scheme), channel_(channel), metrics_(metrics) {}
 
 // rfid:hot begin
+// rfid:noexcept-allow: the responder-index REQUIRE throws PreconditionError
+// (a test-pinned API contract)
 SlotType SlotEngine::runSlot(std::span<tags::Tag> tags,
                              std::span<const std::size_t> responders,
                              common::Rng& rng) {
+  ALLOC_GUARD_HOT();
   // Announce the slot index first so stateful channels (the impairment
   // layer) key their per-slot randomness to it — idle slots included, which
   // keeps the schedule aligned even though they never reach the channel.
@@ -21,6 +25,7 @@ SlotType SlotEngine::runSlot(std::span<tags::Tag> tags,
   // Grow the scratch only at a new high-water mark; existing elements keep
   // their word storage and are overwritten in place.
   if (txScratch_.size() < responders.size()) {
+    ALLOC_GUARD_ALLOW();
     // rfid:hot-allow: high-water-mark growth; steady state reuses storage
     txScratch_.resize(responders.size());
   }
@@ -135,6 +140,9 @@ SlotType SlotEngine::runSlot(std::span<tags::Tag> tags,
   }
 
   if (observer_ != nullptr) {
+    // Observers own their allocation budget (the engine contract covers
+    // engine allocations); test observers log events into vectors.
+    ALLOC_GUARD_ALLOW();
     SlotEvent event;
     event.index = slotIndex_;
     event.trueType = trueType;

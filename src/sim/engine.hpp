@@ -123,7 +123,7 @@ class SlotEngine {
  private:
   void runSlotsBatchPacked(std::span<tags::Tag> tags, const TagSoA& soa,
                            const SlotBatch& batch, common::Rng& rng,
-                           std::span<phy::SlotType> detectedOut);
+                           std::span<phy::SlotType> detectedOut) noexcept;
   void runSlotsBatchFallback(std::span<tags::Tag> tags,
                              const SlotBatch& batch, common::Rng& rng,
                              std::span<phy::SlotType> detectedOut);

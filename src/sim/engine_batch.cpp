@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <limits>
 
+#include "common/alloc_guard.hpp"
 #include "common/require.hpp"
 #include "common/simd.hpp"
 #include "sim/engine.hpp"
@@ -46,7 +47,8 @@ namespace {
 /// Phase 2, portable: acc[s] = OR of the packed rows of slot s's responders.
 void orSegmentsPortable(const std::uint64_t* tx, const std::uint32_t* offsets,
                         std::size_t slotCount, std::size_t wordsPer,
-                        std::uint64_t* acc) {
+                        std::uint64_t* acc) noexcept {
+  ALLOC_GUARD_HOT();
   if (wordsPer == 1) {
     for (std::size_t s = 0; s < slotCount; ++s) {
       std::uint64_t a = 0;
@@ -76,7 +78,8 @@ void orSegmentsPortable(const std::uint64_t* tx, const std::uint32_t* offsets,
 /// (four responders per vector op), scalar tail for the sparse common case.
 __attribute__((target("avx2"))) void orSegmentsAvx2(
     const std::uint64_t* tx, const std::uint32_t* offsets,
-    std::size_t slotCount, std::uint64_t* acc) {
+    std::size_t slotCount, std::uint64_t* acc) noexcept {
+  ALLOC_GUARD_HOT();
   for (std::size_t s = 0; s < slotCount; ++s) {
     std::uint32_t k = offsets[s];
     const std::uint32_t end = offsets[s + 1];
@@ -122,22 +125,35 @@ void SlotEngine::runSlotsBatch(std::span<tags::Tag> tags, const TagSoA& soa,
   }
   RFID_REQUIRE(soa.size() == tags.size(),
                "SoA snapshot does not match the tag population");
+  // All throwing validation lives here, outside the hot regions: once a
+  // batch passes, the kernels below run noexcept on pre-checked indices.
+  for (const std::uint32_t idx : batch.responders) {
+    RFID_REQUIRE(idx < tags.size(), "responder index out of range");
+  }
 
   if (scheme_.packedKind() == core::DetectionScheme::PackedKind::kNone ||
       !channel_.isPureOr()) {
     runSlotsBatchFallback(tags, batch, rng, detectedOut);
     return;
   }
+  RFID_REQUIRE(
+      scheme_.packedKind() != core::DetectionScheme::PackedKind::kStatic ||
+          (soa.hasStaticSignals() &&
+           soa.signalWords() == scheme_.contentionWords()),
+      "SoA snapshot was not gathered under this engine's scheme");
   runSlotsBatchPacked(tags, soa, batch, rng, detectedOut);
 }
 
 // rfid:hot begin
+// rfid:noexcept-allow: forwards to runSlotsBatch (the throwing validation
+// boundary) and carries the test-pinned 32-bit CSR overflow REQUIRE
 void SlotEngine::runSlotsBatchBlockers(std::span<tags::Tag> tags,
                                        const TagSoA& soa,
                                        const SlotBatch& honest,
                                        std::span<const std::size_t> blockers,
                                        common::Rng& rng,
                                        std::span<SlotType> detectedOut) {
+  ALLOC_GUARD_HOT();
   if (blockers.empty()) {
     // No per-slot append needed: the honest CSR *is* the batch.
     runSlotsBatch(tags, soa, honest, rng, detectedOut);
@@ -149,10 +165,12 @@ void SlotEngine::runSlotsBatchBlockers(std::span<tags::Tag> tags,
   RFID_REQUIRE(total <= std::numeric_limits<std::uint32_t>::max(),
                "blocker-appended batch exceeds 32-bit CSR indexing");
   if (batchRowResponders_.size() < total) {
+    ALLOC_GUARD_ALLOW();
     // rfid:hot-allow: high-water-mark growth; steady state reuses storage
     batchRowResponders_.resize(total);
   }
   if (batchRowOffsets_.size() < slots + 1) {
+    ALLOC_GUARD_ALLOW();
     // rfid:hot-allow: high-water-mark growth; steady state reuses storage
     batchRowOffsets_.resize(slots + 1);
   }
@@ -179,25 +197,28 @@ void SlotEngine::runSlotsBatchBlockers(std::span<tags::Tag> tags,
 void SlotEngine::runSlotsBatchPacked(std::span<tags::Tag> tags,
                                      const TagSoA& soa, const SlotBatch& batch,
                                      common::Rng& rng,
-                                     std::span<SlotType> detectedOut) {
+                                     std::span<SlotType> detectedOut) noexcept {
+  ALLOC_GUARD_HOT();
   const std::size_t slots = batch.slotCount();
   const std::size_t wordsPer = scheme_.contentionWords();
   const std::size_t nResp = batch.responders.size();
   const bool staticSignals =
       scheme_.packedKind() == core::DetectionScheme::PackedKind::kStatic;
-  RFID_REQUIRE(!staticSignals ||
-                   (soa.hasStaticSignals() && soa.signalWords() == wordsPer),
-               "SoA snapshot was not gathered under this engine's scheme");
+  RFID_ASSERT(!staticSignals ||
+              (soa.hasStaticSignals() && soa.signalWords() == wordsPer));
 
   if (batchTxWords_.size() < nResp * wordsPer) {
+    ALLOC_GUARD_ALLOW();
     // rfid:hot-allow: high-water-mark growth; steady state reuses storage
     batchTxWords_.resize(nResp * wordsPer);
   }
   if (batchAccWords_.size() < slots * wordsPer) {
+    ALLOC_GUARD_ALLOW();
     // rfid:hot-allow: high-water-mark growth; steady state reuses storage
     batchAccWords_.resize(slots * wordsPer);
   }
   if (batchVerdicts_.size() < slots) {
+    ALLOC_GUARD_ALLOW();
     // rfid:hot-allow: high-water-mark growth; steady state reuses storage
     batchVerdicts_.resize(slots);
   }
@@ -214,7 +235,7 @@ void SlotEngine::runSlotsBatchPacked(std::span<tags::Tag> tags,
   if (staticSignals) {
     for (std::size_t k = 0; k < nResp; ++k) {
       const std::uint32_t idx = batch.responders[k];
-      RFID_REQUIRE(idx < tags.size(), "responder index out of range");
+      RFID_ASSERT(idx < tags.size());
       std::uint64_t* dst = tx + k * wordsPer;
       if (soa.blocker(idx)) {
         // The all-ones jamming signal (assignFill in the scalar path).
@@ -235,7 +256,7 @@ void SlotEngine::runSlotsBatchPacked(std::span<tags::Tag> tags,
     std::size_t k = 0;
     while (k < nResp) {
       const std::uint32_t idx = batch.responders[k];
-      RFID_REQUIRE(idx < tags.size(), "responder index out of range");
+      RFID_ASSERT(idx < tags.size());
       if (soa.blocker(idx)) {
         std::uint64_t* dst = tx + k * wordsPer;
         for (std::size_t w = 0; w < wordsPer; ++w) {
@@ -247,7 +268,7 @@ void SlotEngine::runSlotsBatchPacked(std::span<tags::Tag> tags,
       std::size_t runEnd = k + 1;
       while (runEnd < nResp) {
         const std::uint32_t next = batch.responders[runEnd];
-        RFID_REQUIRE(next < tags.size(), "responder index out of range");
+        RFID_ASSERT(next < tags.size());
         if (soa.blocker(next)) break;
         ++runEnd;
       }
@@ -344,6 +365,10 @@ void SlotEngine::runSlotsBatchPacked(std::span<tags::Tag> tags,
     }
 
     if (observer_ != nullptr) {
+      // Observers own their allocation budget: whatever bookkeeping a
+      // subscriber does on an event is outside the kernel's zero-alloc
+      // contract.
+      ALLOC_GUARD_ALLOW();
       SlotEvent event;
       event.index = slotIndex_;
       event.trueType = trueType;
@@ -363,10 +388,13 @@ void SlotEngine::runSlotsBatchPacked(std::span<tags::Tag> tags,
 // rfid:hot end
 
 // rfid:hot begin
+// rfid:noexcept-allow: drives the scalar runSlot, which owns the throwing
+// per-slot API checks
 void SlotEngine::runSlotsBatchFallback(std::span<tags::Tag> tags,
                                        const SlotBatch& batch,
                                        common::Rng& rng,
                                        std::span<SlotType> detectedOut) {
+  ALLOC_GUARD_HOT();
   // Slot-exact route for impairment/capture channels and unpacked schemes:
   // trivially bit-identical because it *is* the scalar path, at the cost of
   // one index-width conversion per responder.
@@ -376,6 +404,7 @@ void SlotEngine::runSlotsBatchFallback(std::span<tags::Tag> tags,
     const std::uint32_t end = batch.offsets[s + 1];
     const std::size_t n = end - begin;
     if (batchResponders_.size() < n) {
+      ALLOC_GUARD_ALLOW();
       // rfid:hot-allow: high-water-mark growth; steady state reuses storage
       batchResponders_.resize(n);
     }

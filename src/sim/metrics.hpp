@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/alloc_guard.hpp"
 #include "phy/impairments/impairment.hpp"
 #include "phy/timing.hpp"
 
@@ -67,7 +68,9 @@ class Metrics {
     if (correct) {
       ++correct_;
     }
-    delays_.push_back(atMicros);
+    // Amortized delay-log growth; reserveIdentifications pre-sizes it on
+    // measured runs so steady state stays guard-clean.
+    common::pushBackAmortized(delays_, atMicros);
   }
   /// A misdetected collision silenced `tagsLost` tags with one phantom ID.
   void recordPhantom(std::uint64_t tagsLost) noexcept {

@@ -1,0 +1,17 @@
+// Fixture: the RFID-SEED-007 / RFID-DET-001 allowlist path. Mirrors the
+// real src/common/rng.hpp: raw seed mixing is sanctioned *here* (it is the
+// forStream implementation) and must not be flagged.
+#pragma once
+
+#include <cstdint>
+
+namespace rfid::fixture {
+
+inline std::uint64_t splitmixStream(std::uint64_t seed,
+                                    std::uint64_t stream) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace rfid::fixture

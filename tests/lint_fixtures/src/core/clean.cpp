@@ -1,25 +1,46 @@
 // Fixture: exercises every rule's *negative* space — must lint clean.
 //
-// The string below would trip RFID-DET-001 if literals were scanned, the
-// comment-only mentions of std::rand() and std::thread must be ignored,
-// and the hot region shows a justified rfid:hot-allow plus a justified
-// lint suppression.
+// The strings below would trip RFID-DET-001 / RFID-TIME-009 if literals
+// were scanned, the comment-only mentions of std::rand(), std::thread,
+// `seed + 1`, and std::chrono::steady_clock must be ignored, and the hot
+// region shows a justified rfid:hot-allow, a guarded noexcept function, a
+// justified noexcept opt-out, and a justified lint suppression.
 #include <cstddef>
+#include <cstdint>
 #include <vector>
+
+#include "common/alloc_guard.hpp"
 
 namespace rfid::fixture {
 
 inline const char* kLabel = "inventory time (us)";
+inline const char* kClockLabel = "std::chrono::steady_clock (label only)";
 
-// A comment may discuss std::rand() or std::thread freely.
+// A comment may discuss std::rand(), std::thread, raw `seed + 1`
+// arithmetic, or std::chrono::steady_clock freely.
+
+// Sanctioned stream derivation: no arithmetic on the seed itself.
+inline std::uint64_t deriveStream(std::uint64_t seed) { return seed; }
 
 // rfid:hot begin
-inline void steadyState(std::vector<int>& scratch, std::size_t n) {
+inline void steadyState(std::vector<int>& scratch, std::size_t n) noexcept {
+  ALLOC_GUARD_HOT();
   if (scratch.size() < n) {
+    ALLOC_GUARD_ALLOW();
     // rfid:hot-allow: high-water-mark growth; steady state reuses storage
     scratch.resize(n);
   }
   scratch[0] = 1;
+}
+
+// rfid:noexcept-allow: the REQUIRE-style check below is a deliberately
+// throwing API contract (fixture mirrors the real opt-out syntax)
+inline void checkedEntry(std::vector<int>& scratch) {
+  ALLOC_GUARD_HOT();
+  if (scratch.empty()) {
+    throwSomewhereElse();  // not a literal throw; calls the boundary helper
+  }
+  scratch[0] = 0;
 }
 // rfid:hot end
 

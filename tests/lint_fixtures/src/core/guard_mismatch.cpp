@@ -1,0 +1,11 @@
+// Fixture: RFID-GUARD-010 — a marked hot region with no runtime guard.
+// The static patterns see nothing wrong, but the RFID_ENFORCE_HOT build
+// has no ALLOC_GUARD_HOT() scope here, so heap activity the patterns miss
+// would go undetected at runtime.
+namespace rfid::fixture {
+
+// rfid:hot begin
+inline int plainHot(int x) noexcept { return x + 1; }
+// rfid:hot end
+
+}  // namespace rfid::fixture

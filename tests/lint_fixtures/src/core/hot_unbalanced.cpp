@@ -1,7 +1,14 @@
-// Fixture: RFID-HOT-002 — a hot region that is never closed.
+// Fixture: RFID-HOT-002 — a hot region that is never closed. The function
+// itself is guarded and noexcept so the only finding is the missing
+// `// rfid:hot end`.
+#include "common/alloc_guard.hpp"
+
 namespace rfid::fixture {
 
 // rfid:hot begin
-inline int leftOpen() { return 1; }
+inline int leftOpen() noexcept {
+  ALLOC_GUARD_HOT();
+  return 1;
+}
 
 }  // namespace rfid::fixture

@@ -5,11 +5,14 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/alloc_guard.hpp"
+
 namespace rfid::fixture {
 
 // rfid:hot begin
 std::size_t applyImpairments(const std::vector<int>& transmissions,
-                             std::vector<int>& scratch) {
+                             std::vector<int>& scratch) noexcept {
+  ALLOC_GUARD_HOT();
   scratch.clear();
   for (const int tx : transmissions) {
     scratch.push_back(tx);  // RFID-HOT-002

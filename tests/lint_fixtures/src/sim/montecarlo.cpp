@@ -1,0 +1,16 @@
+// Fixture: the RFID-TIME-009 allowlist path. Mirrors the real
+// src/sim/montecarlo.cpp: wall-clock throughput reporting is sanctioned
+// *here* (observability only, never simulated airtime) and must not be
+// flagged.
+#include <chrono>
+#include <cstdint>
+
+namespace rfid::fixture {
+
+inline std::int64_t wallClockMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace rfid::fixture

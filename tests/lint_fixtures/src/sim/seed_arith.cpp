@@ -1,0 +1,13 @@
+// Fixture: RFID-SEED-007 — raw seed arithmetic instead of Rng::forStream.
+// `seed + 1` produces a stream one splitmix step away from colliding with
+// another consumer's `seed + 1`; the sanctioned derivation mixes the
+// stream index through forStream's splitmix64.
+#include <cstdint>
+
+namespace rfid::fixture {
+
+inline std::uint64_t workerStream(std::uint64_t seed) {
+  return seed + 1;  // RFID-SEED-007
+}
+
+}  // namespace rfid::fixture

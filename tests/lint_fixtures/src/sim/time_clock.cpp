@@ -1,0 +1,14 @@
+// Fixture: RFID-TIME-009 — wall-clock timing inside the simulation layer.
+// Slot airtime must come from the cost model so replays are bit-identical;
+// a steady_clock read here silently couples results to host speed.
+#include <chrono>
+#include <cstdint>
+
+namespace rfid::fixture {
+
+inline std::int64_t slotMicrosWallClock() {
+  const auto t0 = std::chrono::steady_clock::now();  // RFID-TIME-009
+  return t0.time_since_epoch().count();
+}
+
+}  // namespace rfid::fixture
